@@ -1,0 +1,427 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index):
+//
+//	paperbench -table 1      Table 1: memory, traditional vs local FFT
+//	paperbench -table 2      Table 2: allowable k per GPU
+//	paperbench -table 3      Table 3: GPU-vs-FFTW speedup model
+//	paperbench -table 4      Table 4: estimated vs actual GPU memory
+//	paperbench -fig 1        Fig. 1: all-to-all rounds/bytes, measured + Eq. 1/6 model
+//	paperbench -fig 3        Fig. 3: octree sampling pattern statistics
+//	paperbench -sec54        §5.4: batch-parameter study
+//	paperbench -measure      §5.3: measured approximation error & compression (pure Go)
+//	paperbench -massif       measured MASSIF per-iteration communication, Alg. 1 vs Alg. 2
+//	paperbench -all          everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"lowcomm3d/internal/cluster"
+	"lowcomm3d/internal/conv"
+	"lowcomm3d/internal/gpu"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/massif"
+	"lowcomm3d/internal/report"
+	"lowcomm3d/internal/sample"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperbench: ")
+	var (
+		table   = flag.Int("table", 0, "regenerate paper table 1-4")
+		fig     = flag.Int("fig", 0, "regenerate paper figure 1 or 3")
+		sec54   = flag.Bool("sec54", false, "regenerate the §5.4 batch study")
+		measure = flag.Bool("measure", false, "measured error/compression at pure-Go scales")
+		massifC = flag.Bool("massif", false, "measured MASSIF per-iteration communication, Alg. 1 vs Alg. 2")
+		fleet   = flag.Bool("fleet", false, "DGX-2 batch-throughput model (§5.1 batching claim)")
+		sweep   = flag.Bool("sweep", false, "measured accuracy/compression tradeoff across far rates (§5.4)")
+		all     = flag.Bool("all", false, "run everything")
+	)
+	flag.Parse()
+
+	ran := false
+	run := func(cond bool, f func() error) {
+		if !cond && !*all {
+			return
+		}
+		ran = true
+		if err := f(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+	run(*table == 1, table1)
+	run(*table == 2, table2)
+	run(*table == 3, table3)
+	run(*table == 4, table4)
+	run(*fig == 1, fig1)
+	run(*fig == 3, fig3)
+	run(*sec54, batchStudy)
+	run(*measure, measured)
+	run(*massifC, massifComm)
+	run(*fleet, fleetStudy)
+	run(*sweep, rateSweep)
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func table1() error {
+	t := report.New("Table 1 — memory: traditional full-grid FFT vs domain-local FFT (GB)",
+		"N", "k", "traditional", "paper", "local (ours)", "paper")
+	for _, r := range gpu.Table1() {
+		t.Add(r.N, r.K, r.TraditionalGB, r.PaperTraditional, r.LocalGB, r.PaperLocal)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func table2() error {
+	rows, err := gpu.Table2()
+	if err != nil {
+		return err
+	}
+	t := report.New("Table 2 — largest sub-domain k fitting a single GPU",
+		"N", "allowable k", "paper", "device")
+	for _, r := range rows {
+		t.Add(r.N, r.AllowableK, r.PaperK, r.Device)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func table3() error {
+	rows, err := gpu.Table3()
+	if err != nil {
+		return err
+	}
+	t := report.New("Table 3 — runtime model: proposed GPU pipeline vs single-CPU FFTW",
+		"N", "k", "r", "ours (ms)", "paper", "FFTW (ms)", "paper", "speedup", "paper")
+	for _, r := range rows {
+		t.Add(r.N, r.K, r.R, r.OursMs, r.PaperOursMs, r.FFTWMs, r.PaperFFTWMs, r.Speedup, r.PaperSpeedup)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func table4() error {
+	rows, err := gpu.Table4()
+	if err != nil {
+		return err
+	}
+	t := report.New("Table 4 — estimated vs actual GPU memory (cuFFT temporaries) (GB)",
+		"N", "k", "r", "estimated", "paper", "actual", "paper", "ratio", "paper")
+	for _, r := range rows {
+		t.Add(r.N, r.K, r.R, r.EstimatedGB, r.PaperEstimate, r.ActualGB, r.PaperActual,
+			r.Ratio, r.PaperActual/r.PaperEstimate)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func fig1() error {
+	// Measured: real distributed convolutions on the simulated cluster.
+	// One sub-domain per worker with a large N/k ratio, the paper's
+	// operating regime (toy ratios make the sparse exchange larger than
+	// the transposes; see EXPERIMENTS.md).
+	n, k, p := 64, 32, 4
+	f := grid.NewField(grid.Cube(n))
+	for i := range f.Data {
+		f.Data[i] = float64(i%17) / 17
+	}
+	kernel := green.Gaussian{Sigma: 2}
+
+	cTrad, err := cluster.New(p, cluster.DefaultParams())
+	if err != nil {
+		return err
+	}
+	if _, err := cluster.DistFFTConvolve(cTrad, f, kernel); err != nil {
+		return err
+	}
+	tb, tm, tc, ts := cTrad.Stats.Snapshot()
+
+	cPencil, err := cluster.New(p, cluster.DefaultParams())
+	if err != nil {
+		return err
+	}
+	if _, err := cluster.PencilFFTConvolve(cPencil, f, kernel); err != nil {
+		return err
+	}
+	pb, pm, pc, ps := cPencil.Stats.Snapshot()
+
+	cOurs, err := cluster.New(p, cluster.DefaultParams())
+	if err != nil {
+		return err
+	}
+	if _, err := cluster.LowCommConvolve(cOurs, f, kernel, k, 16, conv.Config{Pruned: true}); err != nil {
+		return err
+	}
+	ob, om, oc, osim := cOurs.Stats.Snapshot()
+
+	t := report.New(fmt.Sprintf("Fig. 1 — measured communication, N=%d k=%d P=%d (simulated cluster)", n, k, p),
+		"pipeline", "all-to-all rounds", "messages", "bytes", "α-β time")
+	t.AddCells("traditional FFT (pencil, Eq. 1)", fmt.Sprint(pc), fmt.Sprint(pm), report.Bytes(pb), report.Seconds(ps))
+	t.AddCells("traditional FFT (slab)", fmt.Sprint(tc), fmt.Sprint(tm), report.Bytes(tb), report.Seconds(ts))
+	t.AddCells("ours (low-comm)", fmt.Sprint(oc), fmt.Sprint(om), report.Bytes(ob), report.Seconds(osim))
+	t.Render(os.Stdout)
+
+	// Analytic: Eq. 1 vs Eq. 6 at the paper's scales.
+	params := cluster.DefaultParams()
+	rows, err := params.CommModel([]int{1024, 2048, 4096, 8192}, 128, 8, 1024)
+	if err != nil {
+		return err
+	}
+	t2 := report.New("Fig. 1 / Eq. 1 vs Eq. 6 — per-node communication time model (k=128, r=8, P=1024)",
+		"N", "T_Comm,FFT (Eq.1)", "T_ours (Eq.6)", "ratio")
+	for _, r := range rows {
+		t2.AddCells(fmt.Sprint(r.N), report.Seconds(r.TraditionalSec), report.Seconds(r.OursSec),
+			fmt.Sprintf("%.1fx", r.Ratio))
+	}
+	fmt.Println()
+	t2.Render(os.Stdout)
+	return nil
+}
+
+func fig3() error {
+	// The paper's Fig. 3 setting: 32³ sub-domain in a 128³ grid.
+	n, k := 128, 32
+	dim := grid.Cube(n)
+	sub := grid.CubeAt(grid.Point{(n - k) / 2, (n - k) / 2, (n - k) / 2}, k)
+	pol := sample.DefaultPolicy(sub, 16)
+	tree, err := pol.Tree(dim)
+	if err != nil {
+		return err
+	}
+	rateCount := map[int]int{}
+	rateVolume := map[int]int{}
+	for _, c := range tree.Cells {
+		rateCount[c.Rate]++
+		rateVolume[c.Rate] += c.Box.Volume()
+	}
+	t := report.New(fmt.Sprintf("Fig. 3 — octree sampling pattern: %d³ sub-domain in %d³ grid", k, n),
+		"rate r", "cells", "volume", "vol %", "samples")
+	for _, r := range []int{1, 2, 8, 16} {
+		if rateCount[r] == 0 {
+			continue
+		}
+		samples := 0
+		for _, c := range tree.Cells {
+			if c.Rate == r {
+				samples += c.SampleCount()
+			}
+		}
+		t.Add(r, rateCount[r], rateVolume[r],
+			100*float64(rateVolume[r])/float64(dim.Len()), samples)
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("\ntotal: %d cells, %d samples of %d grid points (%.1fx compression), metadata %s\n",
+		tree.CellCount(), tree.SampleCount(), dim.Len(),
+		float64(dim.Len())/float64(tree.SampleCount()), report.Bytes(int64(tree.MetadataBytes())))
+	fmt.Println("(render the pattern itself with cmd/octviz)")
+	return nil
+}
+
+func batchStudy() error {
+	rows, err := gpu.BatchStudy()
+	if err != nil {
+		return err
+	}
+	t := report.New("§5.4 — speedup from doubling the pencil batch B (model)",
+		"N", "k", "r", "B from", "B to", "gain %", "paper %")
+	for _, r := range rows {
+		t.Add(r.N, r.K, r.R, r.FromB, r.ToB, r.SpeedupPct, r.PaperPct)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func measured() error {
+	t := report.New("§5.3 — measured (pure Go): local pipeline vs dense baseline",
+		"N", "k", "far r", "rel L2 error", "compression", "local (ms)", "baseline (ms)")
+	for _, c := range []struct {
+		n, k, far int
+		sigma     float64
+	}{
+		{32, 8, 8, 1.5},
+		{64, 16, 16, 2},
+		{128, 32, 16, 2},
+	} {
+		dim := grid.Cube(c.n)
+		sub := grid.CubeAt(grid.Point{(c.n - c.k) / 2, (c.n - c.k) / 2, (c.n - c.k) / 2}, c.k)
+		kernel := green.Gaussian{Sigma: c.sigma}
+		tree, err := sample.DefaultPolicy(sub, c.far).Tree(dim)
+		if err != nil {
+			return err
+		}
+		local, err := conv.NewLocal(dim, sub, tree, conv.KernelPointwise(dim, kernel), conv.Config{Pruned: true})
+		if err != nil {
+			return err
+		}
+		// Smooth deterministic input (≤1 cycle per sub-domain edge), the
+		// field class MASSIF produces and the sampler is designed for.
+		subField := grid.NewField(grid.Cube(c.k))
+		for z := 0; z < c.k; z++ {
+			for y := 0; y < c.k; y++ {
+				for x := 0; x < c.k; x++ {
+					fx := float64(x) / float64(c.k)
+					fy := float64(y) / float64(c.k)
+					fz := float64(z) / float64(c.k)
+					subField.Set(x, y, z,
+						math.Sin(2*math.Pi*fx)*math.Cos(math.Pi*fy)+0.5*math.Sin(math.Pi*fz))
+				}
+			}
+		}
+		start := time.Now()
+		res, st, err := local.Run(subField)
+		if err != nil {
+			return err
+		}
+		localMs := float64(time.Since(start).Microseconds()) / 1e3
+		start = time.Now()
+		want, err := conv.BaselineSubdomain(dim, sub, subField, kernel, 0)
+		if err != nil {
+			return err
+		}
+		baseMs := float64(time.Since(start).Microseconds()) / 1e3
+		dense, err := res.Reconstruct()
+		if err != nil {
+			return err
+		}
+		rel, err := grid.RelL2(dense, want)
+		if err != nil {
+			return err
+		}
+		t.AddCells(fmt.Sprint(c.n), fmt.Sprint(c.k), fmt.Sprint(c.far),
+			fmt.Sprintf("%.4f", rel), fmt.Sprintf("%.1fx", st.Compression),
+			fmt.Sprintf("%.1f", localMs), fmt.Sprintf("%.1f", baseMs))
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func massifComm() error {
+	// Both MASSIF solvers on the simulated cluster for a fixed iteration
+	// budget: the per-iteration communication the paper's Fig. 1 argues
+	// about, measured on the full tensor pipeline.
+	n, k, p, iters := 32, 16, 4, 3
+	l1, m1 := green.LameFromENu(210, 0.3)
+	l2, m2 := green.LameFromENu(70, 0.3)
+	m, err := massif.NewMicrostructure(grid.Cube(n),
+		massif.Phase{Lambda: l1, Mu: m1}, massif.Phase{Lambda: l2, Mu: m2})
+	if err != nil {
+		return err
+	}
+	if err := m.SetSphere(grid.Point{16, 16, 16}, 8, 1); err != nil {
+		return err
+	}
+	E := grid.SymTensor{0.01, 0, 0, 0, 0, 0}
+	opt := massif.Options{Tol: 1e-12, MaxIter: iters}
+
+	cRef, err := cluster.New(p, cluster.DefaultParams())
+	if err != nil {
+		return err
+	}
+	if _, err := massif.SolveReferenceDistributed(cRef, m, E, opt); err != nil {
+		return err
+	}
+	rb, _, rr, rs := cRef.Stats.Snapshot()
+
+	cLow, err := cluster.New(p, cluster.DefaultParams())
+	if err != nil {
+		return err
+	}
+	if _, err := massif.SolveLowCommDistributed(cLow, m, E, massif.LowCommOptions{
+		Options: opt, SubSize: k, FarRate: 8, Pruned: true,
+	}); err != nil {
+		return err
+	}
+	lb, _, lr, ls := cLow.Stats.Snapshot()
+
+	t := report.New(fmt.Sprintf("MASSIF per-iteration communication, N=%d k=%d P=%d (%d iterations measured)", n, k, p, iters),
+		"solver", "all-to-all rounds/iter", "bytes/iter", "α-β time/iter")
+	t.AddCells("Algorithm 1 (slab FFTs)", fmt.Sprintf("%d", rr/int64(iters)),
+		report.Bytes(rb/int64(iters)), report.Seconds(rs/float64(iters)))
+	t.AddCells("Algorithm 2 (ours)", fmt.Sprintf("%d", lr/int64(iters)),
+		report.Bytes(lb/int64(iters)), report.Seconds(ls/float64(iters)))
+	t.Render(os.Stdout)
+	return nil
+}
+
+func fleetStudy() error {
+	rows, err := gpu.DGX2BatchStudy()
+	if err != nil {
+		return err
+	}
+	t := report.New("§5.1 batching — sub-domain convolutions per DGX-2 node (16× V100-32GB, model)",
+		"N", "k", "r", "concurrent/GPU", "s/conv", "conv/s per node")
+	for _, r := range rows {
+		t.AddCells(fmt.Sprint(r.N), fmt.Sprint(r.K), fmt.Sprint(r.R),
+			fmt.Sprint(r.PerGPU), report.Seconds(r.ConvSec), fmt.Sprintf("%.1f", r.NodePerSec))
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
+func rateSweep() error {
+	// The §5.4 dial, measured for real: "the downsampling rate r can be
+	// increased to reduce the memory requirement further if needed, but at
+	// the cost of accuracy". Corner sub-domain so every rate band exists.
+	n, k := 64, 8
+	dim := grid.Cube(n)
+	sub := grid.CubeAt(grid.Point{0, 0, 0}, k)
+	kernel := green.Gaussian{Sigma: 2}
+	subField := grid.NewField(grid.Cube(k))
+	for z := 0; z < k; z++ {
+		for y := 0; y < k; y++ {
+			for x := 0; x < k; x++ {
+				dx, dy, dz := float64(x-k/2), float64(y-k/2), float64(z-k/2)
+				subField.Set(x, y, z, math.Exp(-(dx*dx+dy*dy+dz*dz)/6))
+			}
+		}
+	}
+	want, err := conv.BaselineSubdomain(dim, sub, subField, kernel, 0)
+	if err != nil {
+		return err
+	}
+	t := report.New(fmt.Sprintf("§5.4 measured accuracy/compression tradeoff, N=%d k=%d (no edge band)", n, k),
+		"far r", "samples", "compression", "rel L2 error")
+	for _, far := range []int{2, 4, 8, 16, 32} {
+		pol := sample.Policy{Sub: sub, NearRate: 2, MidRate: 8, FarRate: far}
+		if far < 8 {
+			pol.MidRate = far
+		}
+		tree, err := pol.Tree(dim)
+		if err != nil {
+			return err
+		}
+		local, err := conv.NewLocal(dim, sub, tree, conv.KernelPointwise(dim, kernel),
+			conv.Config{Pruned: true})
+		if err != nil {
+			return err
+		}
+		res, st, err := local.Run(subField)
+		if err != nil {
+			return err
+		}
+		dense, err := res.Reconstruct()
+		if err != nil {
+			return err
+		}
+		rel, err := grid.RelL2(dense, want)
+		if err != nil {
+			return err
+		}
+		t.AddCells(fmt.Sprint(far), fmt.Sprint(st.SampleCount),
+			fmt.Sprintf("%.1fx", st.Compression), fmt.Sprintf("%.5f", rel))
+	}
+	t.Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,3 @@
+module lowcomm3d
+
+go 1.22

@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats accounts every byte that crosses worker boundaries, the measured
+// counterpart of the α–β model. Collective rounds are counted once per
+// collective, not per message.
+type Stats struct {
+	mu           sync.Mutex
+	BytesSent    int64
+	Messages     int64
+	AllToAllOps  int64
+	SimulatedSec float64 // α–β time of the counted traffic
+}
+
+func (s *Stats) recordMessage(bytes int, p Params) {
+	s.mu.Lock()
+	s.BytesSent += int64(bytes)
+	s.Messages++
+	s.mu.Unlock()
+}
+
+func (s *Stats) recordCollective(maxPairBytes int, workers int, p Params) {
+	s.mu.Lock()
+	s.AllToAllOps++
+	// Linear all-to-all cost: P−1 sequential pairwise exchanges of the
+	// largest message (conservative, matches Eq. 2 applied per peer).
+	s.SimulatedSec += float64(workers-1) * p.MessageTime(maxPairBytes)
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of the counters safe to read after Run returns.
+func (s *Stats) Snapshot() (bytes, messages, collectives int64, simSec float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.BytesSent, s.Messages, s.AllToAllOps, s.SimulatedSec
+}
+
+// Cluster is a set of in-process workers connected by counted channels.
+type Cluster struct {
+	P      int
+	Params Params
+	Stats  Stats
+	boxes  [][]chan []float64 // boxes[to][from]
+}
+
+// New creates a cluster of p workers.
+func New(p int, params Params) (*Cluster, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("cluster: worker count %d must be ≥ 1", p)
+	}
+	c := &Cluster{P: p, Params: params}
+	c.boxes = make([][]chan []float64, p)
+	for to := range c.boxes {
+		c.boxes[to] = make([]chan []float64, p)
+		for from := range c.boxes[to] {
+			c.boxes[to][from] = make(chan []float64, 1)
+		}
+	}
+	return c, nil
+}
+
+// Worker is one participant's view of the cluster.
+type Worker struct {
+	ID int
+	c  *Cluster
+}
+
+// Run executes fn concurrently on every worker and waits for completion.
+// The first error (if any) is returned.
+func (c *Cluster) Run(fn func(w *Worker) error) error {
+	errs := make([]error, c.P)
+	var wg sync.WaitGroup
+	for i := 0; i < c.P; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(&Worker{ID: i, c: c})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Send delivers data to peer `to` (counted). Self-sends are free and
+// uncounted, as on a real fabric.
+func (w *Worker) Send(to int, data []float64) {
+	if to == w.ID {
+		w.c.boxes[to][w.ID] <- data
+		return
+	}
+	w.c.Stats.recordMessage(8*len(data), w.c.Params)
+	w.c.boxes[to][w.ID] <- data
+}
+
+// Recv blocks until a message from peer `from` arrives.
+func (w *Worker) Recv(from int) []float64 {
+	return <-w.c.boxes[w.ID][from]
+}
+
+// AllToAll performs one personalized all-to-all: out[peer] is sent to each
+// peer, and the returned slice holds in[from] for every rank. One
+// collective round is accounted with the α–β model.
+func (w *Worker) AllToAll(out [][]float64) ([][]float64, error) {
+	if len(out) != w.c.P {
+		return nil, fmt.Errorf("cluster: all-to-all needs %d buffers, got %d", w.c.P, len(out))
+	}
+	if w.ID == 0 {
+		maxBytes := 0
+		for _, b := range out {
+			if 8*len(b) > maxBytes {
+				maxBytes = 8 * len(b)
+			}
+		}
+		w.c.Stats.recordCollective(maxBytes, w.c.P, w.c.Params)
+	}
+	for to := 0; to < w.c.P; to++ {
+		w.Send(to, out[to])
+	}
+	in := make([][]float64, w.c.P)
+	for from := 0; from < w.c.P; from++ {
+		in[from] = w.Recv(from)
+	}
+	return in, nil
+}
+
+// AllReduceSum sums the per-worker vectors elementwise across the cluster
+// and returns the total on every worker (gather-to-root + broadcast,
+// counted as 2(P−1) messages). Used for global residuals and mean pinning
+// in the distributed solver.
+func (w *Worker) AllReduceSum(local []float64) []float64 {
+	if w.c.P == 1 {
+		out := make([]float64, len(local))
+		copy(out, local)
+		return out
+	}
+	if w.ID == 0 {
+		total := make([]float64, len(local))
+		copy(total, local)
+		for from := 1; from < w.c.P; from++ {
+			part := w.Recv(from)
+			for i := range total {
+				total[i] += part[i]
+			}
+		}
+		return w.Broadcast(0, total)
+	}
+	w.Send(0, local)
+	return w.Broadcast(0, nil)
+}
+
+// Broadcast sends data from root to every other worker (counted as P−1
+// messages); all workers return the payload.
+func (w *Worker) Broadcast(root int, data []float64) []float64 {
+	if w.ID == root {
+		for to := 0; to < w.c.P; to++ {
+			if to != root {
+				w.Send(to, data)
+			}
+		}
+		return data
+	}
+	return w.Recv(root)
+}

@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"fmt"
+
+	"lowcomm3d/internal/conv"
+	"lowcomm3d/internal/fft"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/sample"
+)
+
+// DistFFTConvolve runs the traditional distributed FFT convolution of
+// Fig. 1a on P simulated workers with slab decomposition: each worker owns
+// N/P z-planes, 2D-transforms them, all-to-all transposes to y-slabs for
+// the z-direction 1D FFTs and the kernel multiply, transposes back, and
+// 2D-inverse-transforms. Two all-to-all rounds of the full (complex) grid
+// cross the fabric — the communication the paper eliminates. (Pencil
+// decompositions as modeled by Eq. 1 need two transposes per FFT, four per
+// convolution; slab needs one per FFT, so the measured traffic here is a
+// lower bound for the traditional method.)
+func DistFFTConvolve(c *Cluster, f *grid.Field, kernel green.Kernel) (*grid.Field, error) {
+	d := f.Dim
+	n := d.Nx
+	if d.Ny != n || d.Nz != n {
+		return nil, fmt.Errorf("cluster: grid %v must be cubic", d)
+	}
+	p := c.P
+	if n%p != 0 {
+		return nil, fmt.Errorf("cluster: grid size %d not divisible by %d workers", n, p)
+	}
+	zPer := n / p
+	plan2d, err := fft.NewPlan2D(n, n, 1)
+	if err != nil {
+		return nil, err
+	}
+	planZ, err := fft.NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+
+	out := grid.NewField(d)
+	err = c.Run(func(w *Worker) error {
+		// Local slab: z ∈ [z0, z1), complex, plane-major.
+		z0 := w.ID * zPer
+		slab := make([]complex128, n*n*zPer)
+		for zi := 0; zi < zPer; zi++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					slab[zi*n*n+y*n+x] = complex(f.At(x, y, z0+zi), 0)
+				}
+			}
+		}
+		// Stage 1: local 2D transforms.
+		for zi := 0; zi < zPer; zi++ {
+			if err := plan2d.ForwardPlane(slab[zi*n*n : (zi+1)*n*n]); err != nil {
+				return err
+			}
+		}
+		// Stage 2: all-to-all transpose z-slabs → y-slabs.
+		ySlab, err := w.TransposeZY(slab, n, zPer, false)
+		if err != nil {
+			return err
+		}
+		// Stage 3–5: z-direction FFT, kernel multiply, inverse z FFT —
+		// all local to the worker's y range.
+		y0 := w.ID * zPer
+		pencil := make([]complex128, n)
+		for yi := 0; yi < zPer; yi++ {
+			for x := 0; x < n; x++ {
+				for z := 0; z < n; z++ {
+					pencil[z] = ySlab[z*n*zPer+yi*n+x]
+				}
+				if err := planZ.Forward(pencil, pencil); err != nil {
+					return err
+				}
+				for kz := 0; kz < n; kz++ {
+					pencil[kz] *= complex(kernel.Hat(d, x, y0+yi, kz), 0)
+				}
+				if err := planZ.Inverse(pencil, pencil); err != nil {
+					return err
+				}
+				for z := 0; z < n; z++ {
+					ySlab[z*n*zPer+yi*n+x] = pencil[z]
+				}
+			}
+		}
+		// Stage 6: all-to-all transpose back to z-slabs.
+		slab, err = w.TransposeZY(ySlab, n, zPer, true)
+		if err != nil {
+			return err
+		}
+		// Stage 7: local inverse 2D transforms, write the owned planes.
+		for zi := 0; zi < zPer; zi++ {
+			plane := slab[zi*n*n : (zi+1)*n*n]
+			if err := plan2d.InversePlane(plane); err != nil {
+				return err
+			}
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					out.Set(x, y, z0+zi, real(plane[y*n+x]))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TransposeZY exchanges a z-slab (per planes of n×n, plane-major) for a
+// y-slab (n z-planes of per×n rows owned in y) via one all-to-all, or the
+// reverse when back is true — the building block of slab-decomposed
+// distributed FFTs, exported so distributed solvers can reuse it. Layouts:
+//
+//	z-slab: idx = zi*n*n + y*n + x          (zi local, y global)
+//	y-slab: idx = z*n*per + yi*n + x        (z global, yi local)
+func (w *Worker) TransposeZY(in []complex128, n, per int, back bool) ([]complex128, error) {
+	p := w.c.P
+	out := make([][]float64, p)
+	for q := 0; q < p; q++ {
+		// Block destined for worker q: my z (or y) range × q's y (or z) range.
+		buf := make([]float64, 2*per*per*n)
+		i := 0
+		for a := 0; a < per; a++ { // my local plane index
+			for b := 0; b < per; b++ { // q's local index
+				for x := 0; x < n; x++ {
+					var v complex128
+					if back {
+						// in is y-slab: a = my yi, global z = q*per + b.
+						v = in[(q*per+b)*n*per+a*n+x]
+					} else {
+						// in is z-slab: a = my zi, global y = q*per + b.
+						v = in[a*n*n+(q*per+b)*n+x]
+					}
+					buf[i] = real(v)
+					buf[i+1] = imag(v)
+					i += 2
+				}
+			}
+		}
+		out[q] = buf
+	}
+	recv, err := w.AllToAll(out)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]complex128, n*n*per)
+	for q := 0; q < p; q++ {
+		buf := recv[q]
+		i := 0
+		for a := 0; a < per; a++ { // sender's local index
+			for b := 0; b < per; b++ { // my local index
+				for x := 0; x < n; x++ {
+					v := complex(buf[i], buf[i+1])
+					i += 2
+					if back {
+						// Receiving z-slab rows: my zi = b, global y = q*per + a.
+						res[b*n*n+(q*per+a)*n+x] = v
+					} else {
+						// Receiving y-slab rows: my yi = b, global z = q*per + a.
+						res[(q*per+a)*n*per+b*n+x] = v
+					}
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// LowCommResult is the outcome of the proposed distributed convolution.
+type LowCommResult struct {
+	Field       *grid.Field
+	SampleBytes int64 // compressed bytes that crossed the fabric
+}
+
+// LowCommConvolve runs the proposed method of Fig. 1b on P simulated
+// workers: sub-domains are partitioned round-robin; every worker convolves
+// its sub-domains locally (pruned slab/pencil pipeline with octree
+// sampling — zero communication), then a single all-to-all ships to each
+// peer only the patches intersecting that peer's output z-slab; each
+// worker accumulates its region by interpolation.
+func LowCommConvolve(c *Cluster, f *grid.Field, kernel green.Kernel, subSize, farRate int, cfg conv.Config) (*LowCommResult, error) {
+	d := f.Dim
+	n := d.Nx
+	if d.Ny != n || d.Nz != n {
+		return nil, fmt.Errorf("cluster: grid %v must be cubic", d)
+	}
+	p := c.P
+	if n%p != 0 {
+		return nil, fmt.Errorf("cluster: grid size %d not divisible by %d workers", n, p)
+	}
+	boxes, err := grid.Decompose(d, subSize)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := grid.Partition(boxes, p)
+	if err != nil {
+		return nil, err
+	}
+	zPer := n / p
+	region := func(q int) grid.Box {
+		return grid.BoxAt(grid.Point{0, 0, q * zPer}, n, n, zPer)
+	}
+
+	out := grid.NewField(d)
+	bytesBefore, _, _, _ := c.Stats.Snapshot()
+	err = c.Run(func(w *Worker) error {
+		// Local convolutions — no communication at all (Fig. 1b: "the
+		// FFT-based convolution computation is local to the workers till
+		// the last step").
+		var results []*sample.Compressed
+		for _, b := range parts[w.ID] {
+			subField, err := f.ExtractBox(b)
+			if err != nil {
+				return err
+			}
+			tree, err := sample.DefaultPolicy(b, farRate).Tree(d)
+			if err != nil {
+				return err
+			}
+			local, err := conv.NewLocal(d, b, tree, conv.KernelPointwise(d, kernel), cfg)
+			if err != nil {
+				return err
+			}
+			res, _, err := local.Run(subField)
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+		}
+		// The single sparse exchange: patches intersecting each peer's
+		// output region.
+		msgs := make([][]float64, p)
+		for q := 0; q < p; q++ {
+			var patches []sample.Patch
+			for _, res := range results {
+				patches = append(patches, res.Patches(region(q))...)
+			}
+			msgs[q] = sample.EncodePatches(patches)
+		}
+		recv, err := w.AllToAll(msgs)
+		if err != nil {
+			return err
+		}
+		// Accumulate the owned region (Algorithm 2 line 6).
+		mine := region(w.ID)
+		for q := 0; q < p; q++ {
+			patches, err := sample.DecodePatches(recv[q])
+			if err != nil {
+				return err
+			}
+			for _, patch := range patches {
+				if err := patch.AddToRegion(out, mine, 1); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	bytesAfter, _, _, _ := c.Stats.Snapshot()
+	return &LowCommResult{Field: out, SampleBytes: bytesAfter - bytesBefore}, nil
+}

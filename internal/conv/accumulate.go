@@ -1,0 +1,237 @@
+package conv
+
+import (
+	"fmt"
+
+	"lowcomm3d/internal/fft"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/octree"
+	"lowcomm3d/internal/sample"
+)
+
+// Accumulate sums the interpolated reconstructions of per-sub-domain
+// compressed results into one dense field — the paper's Algorithm 2 line 6
+// accumulation ("exchange of samples between the workers in the last step
+// followed by interpolation gives us the approximate result of the full
+// convolution").
+func Accumulate(dim grid.Dim3, results []*sample.Compressed) (*grid.Field, error) {
+	out := grid.NewField(dim)
+	for i, r := range results {
+		if r.Tree.Dim != dim {
+			return nil, fmt.Errorf("conv: result %d dims %v != %v", i, r.Tree.Dim, dim)
+		}
+		if err := r.AddTo(out, 1); err != nil {
+			return nil, fmt.Errorf("conv: accumulating result %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// AccumulateRegion accumulates only within region — what a worker that
+// owns that region computes after receiving every sub-domain's samples.
+func AccumulateRegion(dim grid.Dim3, results []*sample.Compressed, region grid.Box) (*grid.Field, error) {
+	out := grid.NewField(dim)
+	for i, r := range results {
+		if err := r.AddRegion(out, region, 1); err != nil {
+			return nil, fmt.Errorf("conv: accumulating result %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Decomposed is the end-to-end proposed method on a single machine:
+// decompose the input into k³ sub-domains, convolve each locally with
+// octree-sampled compression, and accumulate the compressed results. By
+// linearity of convolution the accumulated field approximates the full
+// circular convolution of the input.
+type Decomposed struct {
+	Kernel  green.Kernel
+	SubSize int // k
+	FarRate int // far-field downsampling rate (paper: 16 or 32)
+	Cfg     Config
+
+	// Parallel processes this many sub-domains concurrently, each with
+	// its own pipeline (set Cfg.Workers to 1 to avoid oversubscribing the
+	// per-pipeline parallelism). ≤1 runs serially.
+	Parallel int
+
+	// TreeFor overrides the sampling octree used for a sub-domain; nil
+	// selects sample.DefaultPolicy(box, FarRate). Tests use a rate-1 tree
+	// here to check the exact accumulation identity; ablations swap in
+	// uniform sampling.
+	TreeFor func(sub grid.Box, dim grid.Dim3) (*octree.Tree, error)
+}
+
+// DecomposedStats aggregates per-sub-domain stats.
+type DecomposedStats struct {
+	PerSub          []Stats
+	TotalSamples    int
+	TotalBytes      int // compressed bytes exchanged in the accumulation
+	DenseBytes      int // dense-result bytes the traditional method exchanges
+	MaxPeakBytes    int // worst per-sub-domain working set
+	CompressionMean float64
+	SkippedZero     int // sub-domains skipped because their input is identically zero
+}
+
+// Run convolves the full field f with the configured kernel using the
+// proposed method and returns the approximate result.
+func (dc Decomposed) Run(f *grid.Field) (*grid.Field, DecomposedStats, error) {
+	var ds DecomposedStats
+	boxes, err := grid.Decompose(f.Dim, dc.SubSize)
+	if err != nil {
+		return nil, ds, err
+	}
+	// Zero sub-domains convolve to zero: skip them entirely — the "zero
+	// regions" structure the paper's intro lists among the exploitable
+	// properties. Sparse inputs touch only a few sub-domains.
+	type job struct {
+		box   grid.Box
+		field *grid.Field
+	}
+	var jobs []job
+	for _, b := range boxes {
+		subField, err := f.ExtractBox(b)
+		if err != nil {
+			return nil, ds, err
+		}
+		if allZero(subField.Data) {
+			ds.SkippedZero++
+			continue
+		}
+		jobs = append(jobs, job{box: b, field: subField})
+	}
+	results := make([]*sample.Compressed, len(jobs))
+	stats := make([]Stats, len(jobs))
+	workers := dc.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	var ec fft.FirstError
+	fft.ParallelFor(len(jobs), workers, func(_, i int) {
+		if ec.Failed() {
+			return
+		}
+		j := jobs[i]
+		var tree *octree.Tree
+		var err error
+		if dc.TreeFor != nil {
+			tree, err = dc.TreeFor(j.box, f.Dim)
+		} else {
+			tree, err = sample.DefaultPolicy(j.box, dc.FarRate).Tree(f.Dim)
+		}
+		if err != nil {
+			ec.Record(err)
+			return
+		}
+		local, err := NewLocal(f.Dim, j.box, tree, KernelPointwise(f.Dim, dc.Kernel), dc.Cfg)
+		if err != nil {
+			ec.Record(err)
+			return
+		}
+		res, st, err := local.Run(j.field)
+		if err != nil {
+			ec.Record(err)
+			return
+		}
+		results[i] = res
+		stats[i] = st
+	})
+	if err := ec.Err(); err != nil {
+		return nil, ds, err
+	}
+	for _, st := range stats {
+		ds.PerSub = append(ds.PerSub, st)
+		ds.TotalSamples += st.SampleCount
+		ds.TotalBytes += st.SampleBytes
+		if st.PeakBytes > ds.MaxPeakBytes {
+			ds.MaxPeakBytes = st.PeakBytes
+		}
+		ds.CompressionMean += st.Compression
+	}
+	if len(ds.PerSub) > 0 {
+		ds.CompressionMean /= float64(len(ds.PerSub))
+	}
+	ds.DenseBytes = 8 * f.Dim.Len() * (len(boxes) - ds.SkippedZero)
+	out, err := Accumulate(f.Dim, results)
+	if err != nil {
+		return nil, ds, err
+	}
+	return out, ds, nil
+}
+
+// RunAdaptive convolves f with an irregular, input-adaptive partition
+// (paper §3.1: "irregular partitions can also be made"): inactive regions
+// are never decomposed at all, partially-active maxK cubes are subdivided
+// down to minK, and each retained cube — of whatever size — runs the local
+// pipeline. For sparse inputs this goes beyond Run's zero-skipping: the
+// retained boxes hug the support, so the slabs and exchanges shrink too.
+// dc.SubSize is the maximum cube size; minK the smallest.
+func (dc Decomposed) RunAdaptive(f *grid.Field, minK int) (*grid.Field, DecomposedStats, error) {
+	var ds DecomposedStats
+	boxes, err := grid.DecomposeAdaptive(f.Dim, dc.SubSize, minK, grid.ActiveNonzero(f))
+	if err != nil {
+		return nil, ds, err
+	}
+	full, err := grid.Decompose(f.Dim, dc.SubSize)
+	if err != nil {
+		return nil, ds, err
+	}
+	ds.SkippedZero = len(full) - len(boxes) // vs the regular partition, informational
+	results := make([]*sample.Compressed, 0, len(boxes))
+	for _, b := range boxes {
+		subField, err := f.ExtractBox(b)
+		if err != nil {
+			return nil, ds, err
+		}
+		var tree *octree.Tree
+		if dc.TreeFor != nil {
+			tree, err = dc.TreeFor(b, f.Dim)
+		} else {
+			// No edge band here: with the small cubes an adaptive
+			// partition produces, a k/4-wide boundary band shatters into
+			// unit cells and dominates the sample budget (see the
+			// far-rate ablation in EXPERIMENTS.md).
+			pol := sample.Policy{Sub: b, NearRate: 2, MidRate: 8, FarRate: dc.FarRate}
+			tree, err = pol.Tree(f.Dim)
+		}
+		if err != nil {
+			return nil, ds, err
+		}
+		local, err := NewLocal(f.Dim, b, tree, KernelPointwise(f.Dim, dc.Kernel), dc.Cfg)
+		if err != nil {
+			return nil, ds, err
+		}
+		res, st, err := local.Run(subField)
+		if err != nil {
+			return nil, ds, err
+		}
+		ds.PerSub = append(ds.PerSub, st)
+		ds.TotalSamples += st.SampleCount
+		ds.TotalBytes += st.SampleBytes
+		if st.PeakBytes > ds.MaxPeakBytes {
+			ds.MaxPeakBytes = st.PeakBytes
+		}
+		ds.CompressionMean += st.Compression
+		results = append(results, res)
+	}
+	if len(ds.PerSub) > 0 {
+		ds.CompressionMean /= float64(len(ds.PerSub))
+	}
+	ds.DenseBytes = 8 * f.Dim.Len() * len(boxes)
+	out, err := Accumulate(f.Dim, results)
+	if err != nil {
+		return nil, ds, err
+	}
+	return out, ds, nil
+}
+
+// allZero reports whether every element of xs is exactly zero.
+func allZero(xs []float64) bool {
+	for _, x := range xs {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,122 @@
+package conv
+
+import (
+	"fmt"
+
+	"lowcomm3d/internal/fft"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/octree"
+	"lowcomm3d/internal/sample"
+)
+
+// Batch processes several same-sized sub-domains on one worker while
+// sharing every FFT plan and twiddle table — the paper's batching claim:
+// "given the reduced memory requirement of our method, multiple chunks can
+// be batch processed by a single worker" (§3.1, Fig. 2). Trees and sample
+// indices stay per-sub-domain (the sampling pattern is centered on each
+// box); the transform machinery is built once.
+type Batch struct {
+	dim    grid.Dim3
+	locals []*Local
+}
+
+// TreeFactory builds the sampling octree for one sub-domain.
+type TreeFactory func(sub grid.Box, dim grid.Dim3) (*octree.Tree, error)
+
+// NewBatch builds a batched pipeline over the given boxes. All boxes must
+// be cubes of the same size. treeFor selects each box's octree (nil uses
+// sample.DefaultPolicy with far rate 16).
+func NewBatch(dim grid.Dim3, boxes []grid.Box, treeFor TreeFactory, pw Pointwise, cfg Config) (*Batch, error) {
+	if len(boxes) == 0 {
+		return nil, fmt.Errorf("conv: empty batch")
+	}
+	if treeFor == nil {
+		treeFor = func(sub grid.Box, d grid.Dim3) (*octree.Tree, error) {
+			return sample.DefaultPolicy(sub, 16).Tree(d)
+		}
+	}
+	k := boxes[0].Hi[0] - boxes[0].Lo[0]
+	b := &Batch{dim: dim}
+	// Shared plans, built once.
+	plan2d, err := fft.NewPlan2D(dim.Nx, dim.Ny, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	planZ, err := fft.NewPlan(dim.Nz)
+	if err != nil {
+		return nil, err
+	}
+	var prunedZ, prunedX, prunedY *fft.PrunedPlan
+	if cfg.Pruned {
+		if prunedZ, err = fft.NewPrunedPlan(dim.Nz, k); err != nil {
+			return nil, err
+		}
+		if prunedX, err = fft.NewPrunedPlan(dim.Nx, k); err != nil {
+			return nil, err
+		}
+		if prunedY, err = fft.NewPrunedPlan(dim.Ny, k); err != nil {
+			return nil, err
+		}
+	}
+	for _, box := range boxes {
+		s := box.Size()
+		if s[0] != k || s[1] != k || s[2] != k {
+			return nil, fmt.Errorf("conv: batch box %v is not a %d-cube", box, k)
+		}
+		tree, err := treeFor(box, dim)
+		if err != nil {
+			return nil, err
+		}
+		local, err := NewLocal(dim, box, tree, pw, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Swap in the shared plans (identical parameters by construction).
+		local.plan2d = plan2d
+		local.planZ = planZ
+		local.prunedZ = prunedZ
+		local.prunedX = prunedX
+		local.prunedY = prunedY
+		b.locals = append(b.locals, local)
+	}
+	return b, nil
+}
+
+// Boxes returns the batch's sub-domain boxes in order.
+func (b *Batch) Boxes() []grid.Box {
+	out := make([]grid.Box, len(b.locals))
+	for i, l := range b.locals {
+		out[i] = l.sub
+	}
+	return out
+}
+
+// Run convolves every sub-domain (subFields[i] belongs to Boxes()[i]) and
+// returns the compressed results plus aggregate stats.
+func (b *Batch) Run(subFields []*grid.Field) ([]*sample.Compressed, Stats, error) {
+	var agg Stats
+	if len(subFields) != len(b.locals) {
+		return nil, agg, fmt.Errorf("conv: %d inputs for %d sub-domains", len(subFields), len(b.locals))
+	}
+	results := make([]*sample.Compressed, len(b.locals))
+	for i, l := range b.locals {
+		res, st, err := l.Run(subFields[i])
+		if err != nil {
+			return nil, agg, fmt.Errorf("conv: batch sub-domain %d: %w", i, err)
+		}
+		results[i] = res
+		agg.SampleCount += st.SampleCount
+		agg.SampleBytes += st.SampleBytes
+		agg.PencilCount += st.PencilCount
+		if st.PeakBytes > agg.PeakBytes {
+			agg.PeakBytes = st.PeakBytes
+		}
+		agg.SlabBytes = st.SlabBytes
+		agg.ModelBytes = st.ModelBytes
+		agg.KeptZPlanes = st.KeptZPlanes
+	}
+	if len(b.locals) > 0 {
+		agg.Compression = float64(8*b.dim.Len()*len(b.locals)) / float64(agg.SampleBytes)
+	}
+	return results, agg, nil
+}

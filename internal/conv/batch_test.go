@@ -1,0 +1,138 @@
+package conv
+
+import (
+	"math"
+	"testing"
+
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/octree"
+	"lowcomm3d/internal/sample"
+)
+
+func TestBatchMatchesIndividualLocals(t *testing.T) {
+	n, k := 32, 8
+	dim := grid.Cube(n)
+	boxes, err := grid.Decompose(dim, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes = boxes[:6]
+	kernel := green.Gaussian{Sigma: 1.5}
+	pw := KernelPointwise(dim, kernel)
+	cfg := Config{Pruned: true}
+	batch, err := NewBatch(dim, boxes, nil, pw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := make([]*grid.Field, len(boxes))
+	for i := range inputs {
+		inputs[i] = randSub(k, int64(i+1))
+	}
+	got, st, err := batch.Run(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SampleCount <= 0 || st.Compression <= 0 {
+		t.Errorf("bad aggregate stats: %+v", st)
+	}
+	for i, box := range boxes {
+		tree, err := sample.DefaultPolicy(box, 16).Tree(dim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := NewLocal(dim, box, tree, pw, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := local.Run(inputs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range want.Samples {
+			if math.Abs(got[i].Samples[s]-want.Samples[s]) > 1e-12 {
+				t.Fatalf("box %d sample %d: batch %g individual %g",
+					i, s, got[i].Samples[s], want.Samples[s])
+			}
+		}
+	}
+}
+
+func TestBatchCustomTreeFactory(t *testing.T) {
+	dim := grid.Cube(16)
+	boxes, err := grid.Decompose(dim, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	factory := func(sub grid.Box, d grid.Dim3) (*octree.Tree, error) {
+		calls++
+		return sample.Uniform{Rate: 1, CellSize: 8}.Tree(d)
+	}
+	batch, err := NewBatch(dim, boxes, factory, KernelPointwise(dim, green.Delta{}), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(boxes) {
+		t.Errorf("factory called %d times for %d boxes", calls, len(boxes))
+	}
+	if got := len(batch.Boxes()); got != len(boxes) {
+		t.Errorf("Boxes() = %d", got)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	dim := grid.Cube(16)
+	pw := KernelPointwise(dim, green.Delta{})
+	if _, err := NewBatch(dim, nil, nil, pw, Config{}); err == nil {
+		t.Error("empty batch should fail")
+	}
+	mixed := []grid.Box{
+		grid.CubeAt(grid.Point{0, 0, 0}, 8),
+		grid.CubeAt(grid.Point{8, 8, 8}, 4),
+	}
+	if _, err := NewBatch(dim, mixed, nil, pw, Config{}); err == nil {
+		t.Error("mixed box sizes should fail")
+	}
+	boxes := []grid.Box{grid.CubeAt(grid.Point{0, 0, 0}, 8)}
+	b, err := NewBatch(dim, boxes, nil, pw, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.Run(nil); err == nil {
+		t.Error("wrong input count should fail")
+	}
+}
+
+func BenchmarkBatchVsIndividualSetup(b *testing.B) {
+	// Amortized plan construction: building one Batch for 8 sub-domains
+	// vs 8 independent Locals.
+	n, k := 64, 16
+	dim := grid.Cube(n)
+	boxes, err := grid.Decompose(dim, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	boxes = boxes[:8]
+	pw := KernelPointwise(dim, green.Gaussian{Sigma: 2})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := NewBatch(dim, boxes, nil, pw, Config{Pruned: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("individual", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, box := range boxes {
+				tree, err := sample.DefaultPolicy(box, 16).Tree(dim)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := NewLocal(dim, box, tree, pw, Config{Pruned: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

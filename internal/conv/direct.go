@@ -1,0 +1,83 @@
+package conv
+
+import (
+	"fmt"
+
+	"lowcomm3d/internal/fft"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+)
+
+// KernelSpatial materializes the spatial form of a frequency-domain kernel
+// (inverse FFT of its spectrum) — the g(x) the input is convolved with.
+func KernelSpatial(d grid.Dim3, k green.Kernel, workers int) (*grid.Field, error) {
+	plan, err := fft.NewPlan3D(d, workers)
+	if err != nil {
+		return nil, err
+	}
+	c := grid.NewComplexField(d)
+	i := 0
+	for kz := 0; kz < d.Nz; kz++ {
+		for ky := 0; ky < d.Ny; ky++ {
+			for kx := 0; kx < d.Nx; kx++ {
+				c.Data[i] = complex(k.Hat(d, kx, ky, kz), 0)
+				i++
+			}
+		}
+	}
+	if err := plan.Inverse(c); err != nil {
+		return nil, err
+	}
+	return c.Real(), nil
+}
+
+// Direct computes the circular convolution in the space domain with the
+// kernel truncated to Chebyshev radius R around the origin:
+//
+//	out(x) = Σ_{|δ|∞ ≤ R} g(δ) · f(x − δ)   (periodic indices)
+//
+// This is the O(N³·(2R+1)³) summation the FFT replaces (paper §1: "the FFT
+// reduces the complexity of computation from O(N²) to O(N log N)"). It is
+// exact when the kernel's support fits inside the radius, which the
+// rapidly-decaying Green's-function kernels of the paper satisfy — making
+// Direct both an FFT-free correctness cross-check and the slow side of the
+// complexity-crossover benchmark.
+func Direct(f *grid.Field, kernel *grid.Field, radius, workers int) (*grid.Field, error) {
+	d := f.Dim
+	if kernel.Dim != d {
+		return nil, fmt.Errorf("conv: kernel dims %v != field dims %v", kernel.Dim, d)
+	}
+	if radius < 0 || 2*radius+1 > d.Nx || 2*radius+1 > d.Ny || 2*radius+1 > d.Nz {
+		return nil, fmt.Errorf("conv: radius %d out of range for %v", radius, d)
+	}
+	// Gather the truncated stencil once: offsets and weights.
+	type tap struct {
+		dx, dy, dz int
+		w          float64
+	}
+	taps := make([]tap, 0, (2*radius+1)*(2*radius+1)*(2*radius+1))
+	wrap := func(v, n int) int { return ((v % n) + n) % n }
+	for dz := -radius; dz <= radius; dz++ {
+		for dy := -radius; dy <= radius; dy++ {
+			for dx := -radius; dx <= radius; dx++ {
+				w := kernel.At(wrap(dx, d.Nx), wrap(dy, d.Ny), wrap(dz, d.Nz))
+				if w != 0 {
+					taps = append(taps, tap{dx, dy, dz, w})
+				}
+			}
+		}
+	}
+	out := grid.NewField(d)
+	fft.ParallelFor(d.Nz, fft.Workers(workers), func(_, z int) {
+		for y := 0; y < d.Ny; y++ {
+			for x := 0; x < d.Nx; x++ {
+				sum := 0.0
+				for _, t := range taps {
+					sum += t.w * f.At(wrap(x-t.dx, d.Nx), wrap(y-t.dy, d.Ny), wrap(z-t.dz, d.Nz))
+				}
+				out.Set(x, y, z, sum)
+			}
+		}
+	})
+	return out, nil
+}

@@ -1,0 +1,372 @@
+package conv
+
+import (
+	"fmt"
+
+	"lowcomm3d/internal/fft"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/octree"
+	"lowcomm3d/internal/sample"
+)
+
+// Pointwise is the frequency-domain callback applied between the forward
+// and inverse stages — the role played by cuFFT callback functions in the
+// paper's proof of concept (Fig. 4) and by the pointwise sub-plan in its
+// FFTX sketch (Fig. 5).
+type Pointwise func(kx, ky, kz int, v complex128) complex128
+
+// KernelPointwise adapts a scalar kernel to a Pointwise callback.
+// Separable kernels (green.Separable) get a fast path: three per-axis
+// tables are precomputed once, so the hot pencil loop multiplies three
+// table entries instead of evaluating the transcendental Hat per point.
+func KernelPointwise(d grid.Dim3, k green.Kernel) Pointwise {
+	if s, ok := k.(green.Separable); ok {
+		tx := make([]float64, d.Nx)
+		for kx := range tx {
+			tx[kx] = s.AxisHat(d.Nx, kx)
+		}
+		ty := tx
+		if d.Ny != d.Nx {
+			ty = make([]float64, d.Ny)
+			for ky := range ty {
+				ty[ky] = s.AxisHat(d.Ny, ky)
+			}
+		}
+		tz := tx
+		switch {
+		case d.Nz == d.Nx:
+		case d.Nz == d.Ny:
+			tz = ty
+		default:
+			tz = make([]float64, d.Nz)
+			for kz := range tz {
+				tz[kz] = s.AxisHat(d.Nz, kz)
+			}
+		}
+		return func(kx, ky, kz int, v complex128) complex128 {
+			return v * complex(tx[kx]*ty[ky]*tz[kz], 0)
+		}
+	}
+	return func(kx, ky, kz int, v complex128) complex128 {
+		return v * complex(k.Hat(d, kx, ky, kz), 0)
+	}
+}
+
+// Config tunes the local pipeline.
+type Config struct {
+	Workers int  // goroutines for batched pencil stages (≤0: GOMAXPROCS)
+	BatchB  int  // pencils per batch, the paper's §5.4 batch parameter (≤0: one batch)
+	Pruned  bool // use input-pruned z transforms (transform decomposition)
+}
+
+// Stats reports the footprint and work of one local convolution, the
+// quantities behind the paper's Tables 1 and 4.
+type Stats struct {
+	SlabBytes   int // N×N×k complex slab
+	PlanesBytes int // kept inverse planes, N×N×|Z| complex
+	SampleBytes int // compressed output (samples + octree metadata)
+	PeakBytes   int // max simultaneously-live intermediate footprint
+	ModelBytes  int // the paper's 8·N²·k back-of-envelope figure
+	KeptZPlanes int
+	PencilCount int
+	SampleCount int
+	Compression float64 // dense result bytes / compressed bytes
+}
+
+// Local performs the paper's domain-local convolution of one k³ sub-domain
+// against a full-grid kernel: the dense N³ result is never materialized;
+// the output is the octree-compressed sampling of the full-grid circular
+// convolution. All transforms are local — no data leaves the worker until
+// the compressed samples are exchanged in the accumulation step.
+type Local struct {
+	dim     grid.Dim3
+	sub     grid.Box
+	pw      Pointwise
+	tree    *octree.Tree
+	cfg     Config
+	plan2d  *fft.Plan2D
+	planZ   *fft.Plan
+	prunedZ *fft.PrunedPlan
+	prunedX *fft.PrunedPlan
+	prunedY *fft.PrunedPlan
+
+	// Sampling index: for each kept z plane, the (x, y, sampleIdx) triples
+	// to gather after the inverse 2D transform of that plane.
+	zIndex map[int][]gatherPoint
+	keptZ  []int
+	zSlot  map[int]int
+
+	// Reused working buffers (Run is therefore not safe for concurrent
+	// use on one Local; create one Local per goroutine).
+	slabBuf   []complex128
+	planesBuf []complex128
+}
+
+type gatherPoint struct {
+	x, y   int32
+	sample int32
+}
+
+// NewLocal builds a local-convolution pipeline for sub-domain box sub of
+// an N³ grid (dim), with the sampling octree tree (typically from
+// sample.Policy) and the frequency-domain callback pw.
+func NewLocal(dim grid.Dim3, sub grid.Box, tree *octree.Tree, pw Pointwise, cfg Config) (*Local, error) {
+	if dim.Nx != dim.Ny || dim.Ny != dim.Nz {
+		return nil, fmt.Errorf("conv: grid %v must be cubic", dim)
+	}
+	if tree.Dim != dim {
+		return nil, fmt.Errorf("conv: tree dims %v != grid dims %v", tree.Dim, dim)
+	}
+	if !dim.Bounds().ContainsBox(sub) {
+		return nil, fmt.Errorf("conv: sub-domain %v outside grid %v", sub, dim)
+	}
+	s := sub.Size()
+	if s[0] != s[1] || s[1] != s[2] {
+		return nil, fmt.Errorf("conv: sub-domain %v must be cubic", sub)
+	}
+	n := dim.Nx
+	k := s[0]
+	l := &Local{dim: dim, sub: sub, pw: pw, tree: tree, cfg: cfg}
+	var err error
+	if l.plan2d, err = fft.NewPlan2D(n, n, cfg.Workers); err != nil {
+		return nil, err
+	}
+	if l.planZ, err = fft.NewPlan(n); err != nil {
+		return nil, err
+	}
+	if cfg.Pruned {
+		if l.prunedZ, err = fft.NewPrunedPlan(n, k); err != nil {
+			return nil, err
+		}
+		if l.prunedX, err = fft.NewPrunedPlan(n, k); err != nil {
+			return nil, err
+		}
+		if l.prunedY, err = fft.NewPrunedPlan(n, k); err != nil {
+			return nil, err
+		}
+	}
+	l.buildSampleIndex()
+	return l, nil
+}
+
+// buildSampleIndex groups the octree's sample points by z plane so the
+// inverse stage can gather them directly from each inverse-transformed
+// plane — the "compression algorithm applied after each 1D iFFT stage".
+func (l *Local) buildSampleIndex() {
+	l.zIndex = make(map[int][]gatherPoint)
+	l.tree.ForEachSample(func(cell, s, x, y, z int) {
+		l.zIndex[z] = append(l.zIndex[z], gatherPoint{x: int32(x), y: int32(y), sample: int32(s)})
+	})
+	l.keptZ = make([]int, 0, len(l.zIndex))
+	for z := range l.zIndex {
+		l.keptZ = append(l.keptZ, z)
+	}
+	// Deterministic order.
+	for i := 1; i < len(l.keptZ); i++ {
+		for j := i; j > 0 && l.keptZ[j] < l.keptZ[j-1]; j-- {
+			l.keptZ[j], l.keptZ[j-1] = l.keptZ[j-1], l.keptZ[j]
+		}
+	}
+	l.zSlot = make(map[int]int, len(l.keptZ))
+	for i, z := range l.keptZ {
+		l.zSlot[z] = i
+	}
+}
+
+// Tree returns the sampling octree used by the pipeline.
+func (l *Local) Tree() *octree.Tree { return l.tree }
+
+// Run convolves the k³ sub-domain field (dimensions equal to the
+// sub-domain box) and returns the compressed result plus footprint stats.
+func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
+	var st Stats
+	s := l.sub.Size()
+	if (grid.Dim3{Nx: s[0], Ny: s[1], Nz: s[2]}) != subField.Dim {
+		return nil, st, fmt.Errorf("conv: sub field %v does not match box %v", subField.Dim, l.sub)
+	}
+	n := l.dim.Nx
+	k := s[0]
+	ox, oy, oz := l.sub.Lo[0], l.sub.Lo[1], l.sub.Lo[2]
+
+	// Stage A — forward 2D transforms of the k sub-domain slices into the
+	// N×N×k slab ("the small domain undergoes a 2D transform to a slab").
+	// The buffer is reused across runs; the padded path needs it zeroed
+	// (only the k×k block is written before the full-plane transform).
+	if len(l.slabBuf) != n*n*k {
+		l.slabBuf = make([]complex128, n*n*k)
+	} else if !l.cfg.Pruned {
+		for i := range l.slabBuf {
+			l.slabBuf[i] = 0
+		}
+	}
+	slab := l.slabBuf
+	if err := l.slabForward(slab, subField, n, k, ox, oy); err != nil {
+		return nil, st, err
+	}
+	st.SlabBytes = 16 * n * n * k
+
+	// Stage B — batched 1D z transforms of the N² pencils with the
+	// pointwise callback, inverse z transform, keeping only sampled z
+	// planes ("the slab is then transformed in a batch fashion by taking
+	// 1D transforms of B pencils at a time in the z-dimension").
+	nz := len(l.keptZ)
+	if len(l.planesBuf) != n*n*nz {
+		l.planesBuf = make([]complex128, n*n*nz)
+	}
+	planes := l.planesBuf
+	st.PlanesBytes = 16 * n * n * nz
+	st.KeptZPlanes = nz
+	st.PencilCount = n * n
+	batch := l.cfg.BatchB
+	if batch <= 0 || batch > n*n {
+		batch = n * n
+	}
+	workers := fft.Workers(l.cfg.Workers)
+	type ws struct {
+		spec, inv, scratch []complex128
+		sub                []complex128
+	}
+	scratch := make([]ws, workers)
+	for w := range scratch {
+		scratch[w] = ws{
+			spec:    make([]complex128, n),
+			inv:     make([]complex128, n),
+			scratch: make([]complex128, n),
+			sub:     make([]complex128, k),
+		}
+	}
+	var ec fft.FirstError
+	for start := 0; start < n*n; start += batch {
+		end := start + batch
+		if end > n*n {
+			end = n * n
+		}
+		fft.ParallelFor(end-start, workers, func(w, i int) {
+			if ec.Failed() {
+				return
+			}
+			p := start + i
+			x := p % n
+			y := p / n
+			sc := &scratch[w]
+			// Gather the k nonzero z values of this pencil.
+			for zi := 0; zi < k; zi++ {
+				sc.sub[zi] = slab[zi*n*n+p]
+			}
+			// Forward z transform with implicit zero padding.
+			if l.cfg.Pruned {
+				if err := l.prunedZ.Forward(sc.spec, sc.sub, oz, sc.scratch); err != nil {
+					ec.Record(err)
+					return
+				}
+			} else {
+				for j := range sc.spec {
+					sc.spec[j] = 0
+				}
+				copy(sc.spec[oz:oz+k], sc.sub)
+				if err := l.planZ.Forward(sc.spec, sc.spec); err != nil {
+					ec.Record(err)
+					return
+				}
+			}
+			// Pointwise kernel multiply — the cuFFT-callback stage.
+			for kz := 0; kz < n; kz++ {
+				sc.spec[kz] = l.pw(x, y, kz, sc.spec[kz])
+			}
+			// Inverse z transform; scatter only the sampled planes.
+			if err := l.planZ.Inverse(sc.inv, sc.spec); err != nil {
+				ec.Record(err)
+				return
+			}
+			for slot, z := range l.keptZ {
+				planes[slot*n*n+p] = sc.inv[z]
+			}
+		})
+		if err := ec.Err(); err != nil {
+			return nil, st, err
+		}
+	}
+
+	// Stage C — inverse 2D transform of each kept plane, then gather the
+	// octree samples (the full 3D result is never materialized).
+	out := sample.NewCompressed(l.tree)
+	st.SampleCount = len(out.Samples)
+	for slot, z := range l.keptZ {
+		plane := planes[slot*n*n : (slot+1)*n*n]
+		if err := l.plan2d.InversePlane(plane); err != nil {
+			return nil, st, err
+		}
+		for _, g := range l.zIndex[z] {
+			out.Samples[g.sample] = real(plane[int(g.y)*n+int(g.x)])
+		}
+	}
+
+	st.SampleBytes = out.MemoryBytes()
+	st.ModelBytes = 8 * n * n * k
+	st.PeakBytes = st.SlabBytes + st.PlanesBytes + st.SampleBytes
+	st.Compression = out.CompressionRatio()
+	return out, st, nil
+}
+
+// slabForward fills the N×N×k slab with 2D transforms of the zero-padded
+// sub-domain slices. With pruning enabled, both 1D passes skip the
+// implicit zeros (x lines have support k at ox; after the x pass, y
+// columns have support k at oy).
+func (l *Local) slabForward(slab []complex128, subField *grid.Field, n, k, ox, oy int) error {
+	workers := fft.Workers(l.cfg.Workers)
+	if !l.cfg.Pruned {
+		var ec fft.FirstError
+		fft.ParallelFor(k, workers, func(w, zi int) {
+			if ec.Failed() {
+				return
+			}
+			plane := slab[zi*n*n : (zi+1)*n*n]
+			for yy := 0; yy < k; yy++ {
+				for xx := 0; xx < k; xx++ {
+					plane[(oy+yy)*n+(ox+xx)] = complex(subField.At(xx, yy, zi), 0)
+				}
+			}
+			if err := l.plan2d.ForwardPlane(plane); err != nil {
+				ec.Record(err)
+			}
+		})
+		return ec.Err()
+	}
+	var ec fft.FirstError
+	fft.ParallelFor(k, workers, func(w, zi int) {
+		if ec.Failed() {
+			return
+		}
+		plane := slab[zi*n*n : (zi+1)*n*n]
+		row := make([]complex128, k)
+		line := make([]complex128, n)
+		scratch := make([]complex128, n)
+		// Pruned x transforms on the k nonzero rows.
+		for yy := 0; yy < k; yy++ {
+			for xx := 0; xx < k; xx++ {
+				row[xx] = complex(subField.At(xx, yy, zi), 0)
+			}
+			if err := l.prunedX.Forward(line, row, ox, scratch); err != nil {
+				ec.Record(err)
+				return
+			}
+			copy(plane[(oy+yy)*n:(oy+yy)*n+n], line)
+		}
+		// Pruned y transforms on every column (support k at oy).
+		col := make([]complex128, k)
+		for xx := 0; xx < n; xx++ {
+			for yy := 0; yy < k; yy++ {
+				col[yy] = plane[(oy+yy)*n+xx]
+			}
+			if err := l.prunedY.Forward(line, col, oy, scratch); err != nil {
+				ec.Record(err)
+				return
+			}
+			for yy := 0; yy < n; yy++ {
+				plane[yy*n+xx] = line[yy]
+			}
+		}
+	})
+	return ec.Err()
+}

@@ -1,0 +1,137 @@
+package conv
+
+import (
+	"fmt"
+
+	"lowcomm3d/internal/fft"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+)
+
+// BaselineReal computes the same convolution as Baseline through a
+// real-to-complex pipeline: the x-direction transforms store only the
+// n/2+1 independent coefficients (Hermitian symmetry), so the complex
+// working set is (N/2+1)·N² instead of N³ — the r2c memory halving real
+// FFT codes (FFTW, cuFFT) rely on, applied end to end.
+func BaselineReal(f *grid.Field, k green.Kernel, workers int) (*grid.Field, error) {
+	d := f.Dim
+	n := d.Nx
+	if n%2 != 0 {
+		return nil, fmt.Errorf("conv: real pipeline requires even Nx, got %d", n)
+	}
+	rp, err := fft.NewRealPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	py, err := fft.NewPlan(d.Ny)
+	if err != nil {
+		return nil, err
+	}
+	pz := py
+	if d.Nz != d.Ny {
+		if pz, err = fft.NewPlan(d.Nz); err != nil {
+			return nil, err
+		}
+	}
+	hx := rp.SpectrumLen()
+	w := fft.Workers(workers)
+	buf := make([]complex128, hx*d.Ny*d.Nz)
+	var ec fft.FirstError
+
+	// Forward x: one r2c per (y, z) line.
+	fft.ParallelFor(d.Ny*d.Nz, w, func(_, i int) {
+		if ec.Failed() {
+			return
+		}
+		y := i % d.Ny
+		z := i / d.Ny
+		line := make([]float64, n)
+		for x := 0; x < n; x++ {
+			line[x] = f.At(x, y, z)
+		}
+		ec.Record(rp.Forward(buf[i*hx:(i+1)*hx:(i+1)*hx], line))
+	})
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	scratch := make([][]complex128, w)
+	for i := range scratch {
+		scratch[i] = make([]complex128, max(d.Ny, d.Nz))
+	}
+	// Forward y: stride hx, one line per (kx, z).
+	fft.ParallelFor(hx*d.Nz, w, func(wk, i int) {
+		if ec.Failed() {
+			return
+		}
+		kx := i % hx
+		z := i / hx
+		off := kx + hx*d.Ny*z
+		ec.Record(py.ForwardStrided(buf, off, hx, scratch[wk]))
+	})
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	// Forward z: stride hx·Ny, one line per (kx, ky).
+	fft.ParallelFor(hx*d.Ny, w, func(wk, i int) {
+		if ec.Failed() {
+			return
+		}
+		ec.Record(pz.ForwardStrided(buf, i, hx*d.Ny, scratch[wk]))
+	})
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+
+	// Pointwise multiply on the half grid.
+	i := 0
+	for kz := 0; kz < d.Nz; kz++ {
+		for ky := 0; ky < d.Ny; ky++ {
+			for kx := 0; kx < hx; kx++ {
+				buf[i] *= complex(k.Hat(d, kx, ky, kz), 0)
+				i++
+			}
+		}
+	}
+
+	// Inverse z, y, then c2r along x.
+	fft.ParallelFor(hx*d.Ny, w, func(wk, i int) {
+		if ec.Failed() {
+			return
+		}
+		ec.Record(pz.InverseStrided(buf, i, hx*d.Ny, scratch[wk]))
+	})
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	fft.ParallelFor(hx*d.Nz, w, func(wk, i int) {
+		if ec.Failed() {
+			return
+		}
+		kx := i % hx
+		z := i / hx
+		ec.Record(py.InverseStrided(buf, kx+hx*d.Ny*z, hx, scratch[wk]))
+	})
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	out := grid.NewField(d)
+	fft.ParallelFor(d.Ny*d.Nz, w, func(_, i int) {
+		if ec.Failed() {
+			return
+		}
+		y := i % d.Ny
+		z := i / d.Ny
+		line := make([]float64, n)
+		if err := rp.Inverse(line, buf[i*hx:(i+1)*hx]); err != nil {
+			ec.Record(err)
+			return
+		}
+		for x := 0; x < n; x++ {
+			out.Set(x, y, z, line[x])
+		}
+	})
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package fft
+
+import (
+	"fmt"
+
+	"lowcomm3d/internal/grid"
+)
+
+// Plan3D performs in-place 3D transforms on a grid.ComplexField by
+// sweeping 1D transforms along each axis (the classical pencil
+// decomposition: an N×N×N transform is N² 1D transforms per axis).
+// Lines are processed in parallel across Workers goroutines.
+type Plan3D struct {
+	dim        grid.Dim3
+	px, py, pz *Plan
+	workers    int
+}
+
+// NewPlan3D creates a 3D plan for fields of dimensions d. workers ≤ 0
+// selects GOMAXPROCS.
+func NewPlan3D(d grid.Dim3, workers int) (*Plan3D, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("fft: empty dimensions %v", d)
+	}
+	px, err := NewPlan(d.Nx)
+	if err != nil {
+		return nil, err
+	}
+	py := px
+	if d.Ny != d.Nx {
+		if py, err = NewPlan(d.Ny); err != nil {
+			return nil, err
+		}
+	}
+	pz := px
+	switch {
+	case d.Nz == d.Nx:
+		pz = px
+	case d.Nz == d.Ny:
+		pz = py
+	default:
+		if pz, err = NewPlan(d.Nz); err != nil {
+			return nil, err
+		}
+	}
+	return &Plan3D{dim: d, px: px, py: py, pz: pz, workers: Workers(workers)}, nil
+}
+
+// Dim returns the plan's field dimensions.
+func (p *Plan3D) Dim() grid.Dim3 { return p.dim }
+
+// Forward transforms f in place (unnormalized).
+func (p *Plan3D) Forward(f *grid.ComplexField) error { return p.run(f, false) }
+
+// Inverse transforms f in place, applying 1/N per axis.
+func (p *Plan3D) Inverse(f *grid.ComplexField) error { return p.run(f, true) }
+
+func (p *Plan3D) run(f *grid.ComplexField, inverse bool) error {
+	if f.Dim != p.dim {
+		return fmt.Errorf("fft: field dims %v != plan dims %v", f.Dim, p.dim)
+	}
+	d := p.dim
+	data := f.Data
+	maxN := d.Nx
+	if d.Ny > maxN {
+		maxN = d.Ny
+	}
+	if d.Nz > maxN {
+		maxN = d.Nz
+	}
+	scratch := make([][]complex128, p.workers)
+	for w := range scratch {
+		scratch[w] = make([]complex128, maxN)
+	}
+	var ec FirstError
+
+	// X axis: contiguous lines, one per (y, z).
+	ParallelFor(d.Ny*d.Nz, p.workers, func(w, i int) {
+		base := i * d.Nx
+		line := data[base : base+d.Nx]
+		if inverse {
+			ec.Record(p.px.Inverse(line, line))
+		} else {
+			ec.Record(p.px.Forward(line, line))
+		}
+	})
+	if err := ec.Err(); err != nil {
+		return err
+	}
+	// Y axis: stride Nx, one line per (x, z).
+	ParallelFor(d.Nx*d.Nz, p.workers, func(w, i int) {
+		x := i % d.Nx
+		z := i / d.Nx
+		off := x + d.Nx*d.Ny*z
+		if inverse {
+			ec.Record(p.py.InverseStrided(data, off, d.Nx, scratch[w]))
+		} else {
+			ec.Record(p.py.ForwardStrided(data, off, d.Nx, scratch[w]))
+		}
+	})
+	if err := ec.Err(); err != nil {
+		return err
+	}
+	// Z axis: stride Nx·Ny, one line per (x, y).
+	ParallelFor(d.Nx*d.Ny, p.workers, func(w, i int) {
+		if inverse {
+			ec.Record(p.pz.InverseStrided(data, i, d.Nx*d.Ny, scratch[w]))
+		} else {
+			ec.Record(p.pz.ForwardStrided(data, i, d.Nx*d.Ny, scratch[w]))
+		}
+	})
+	return ec.Err()
+}
+
+// Plan2D performs in-place 2D (x, y) transforms on every z-plane of a
+// complex field, or on a single plane slice. It is the first stage of the
+// paper's local pipeline: "the small domain undergoes a 2D transform to a
+// slab".
+type Plan2D struct {
+	nx, ny  int
+	px, py  *Plan
+	workers int
+}
+
+// NewPlan2D creates a 2D plan for nx×ny planes.
+func NewPlan2D(nx, ny, workers int) (*Plan2D, error) {
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("fft: invalid plane dims %dx%d", nx, ny)
+	}
+	px, err := NewPlan(nx)
+	if err != nil {
+		return nil, err
+	}
+	py := px
+	if ny != nx {
+		if py, err = NewPlan(ny); err != nil {
+			return nil, err
+		}
+	}
+	return &Plan2D{nx: nx, ny: ny, px: px, py: py, workers: Workers(workers)}, nil
+}
+
+// ForwardPlane transforms one nx×ny plane (row-major, x fastest) in place.
+func (p *Plan2D) ForwardPlane(plane []complex128) error { return p.plane(plane, false) }
+
+// InversePlane inverse-transforms one plane in place (1/(nx·ny) applied).
+func (p *Plan2D) InversePlane(plane []complex128) error { return p.plane(plane, true) }
+
+func (p *Plan2D) plane(plane []complex128, inverse bool) error {
+	if len(plane) != p.nx*p.ny {
+		return fmt.Errorf("fft: plane length %d != %d", len(plane), p.nx*p.ny)
+	}
+	var ec FirstError
+	scratch := make([][]complex128, p.workers)
+	for w := range scratch {
+		scratch[w] = make([]complex128, p.ny)
+	}
+	ParallelFor(p.ny, p.workers, func(w, y int) {
+		row := plane[y*p.nx : (y+1)*p.nx]
+		if inverse {
+			ec.Record(p.px.Inverse(row, row))
+		} else {
+			ec.Record(p.px.Forward(row, row))
+		}
+	})
+	if err := ec.Err(); err != nil {
+		return err
+	}
+	ParallelFor(p.nx, p.workers, func(w, x int) {
+		if inverse {
+			ec.Record(p.py.InverseStrided(plane, x, p.nx, scratch[w]))
+		} else {
+			ec.Record(p.py.ForwardStrided(plane, x, p.nx, scratch[w]))
+		}
+	})
+	return ec.Err()
+}

@@ -1,0 +1,88 @@
+package fft
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ParallelFor runs f(i) for i in [0, n) across up to workers goroutines.
+// workers ≤ 0 selects GOMAXPROCS. Work is handed out in contiguous chunks
+// so per-goroutine scratch stays cache-warm. Each invocation of f receives
+// the worker id w (0 ≤ w < workers) so callers can index per-worker
+// scratch buffers.
+func ParallelFor(n, workers int, f func(w, i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(w, i)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Workers normalizes a requested worker count: ≤0 means GOMAXPROCS.
+func Workers(requested int) int {
+	if requested <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return requested
+}
+
+// FirstError collects the first error recorded from concurrent workers.
+// The zero value is ready to use.
+type FirstError struct {
+	mu  sync.Mutex
+	err error
+}
+
+// Record stores err if it is the first non-nil error seen.
+func (f *FirstError) Record(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// Err returns the first recorded error, or nil.
+func (f *FirstError) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+// Failed reports whether any error has been recorded; workers use it to
+// bail out early.
+func (f *FirstError) Failed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err != nil
+}

@@ -1,0 +1,151 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// PrunedPlan computes length-n forward DFTs of inputs whose support is a
+// contiguous block of at most k points, without touching the implicit
+// zeros. This is the 1D building block of the paper's "zero structure is
+// implicit in the 1D calls" strategy (§3.1): the k³ sub-domain is never
+// padded to N³; each 1D line is transformed with its zero tail pruned.
+//
+// Algorithm (transform decomposition, Sorensen & Burrus): choose a
+// power-of-two q with k ≤ q and q | n, let m = n/q. Split the output index
+// j = b + m·a (a < q, b < m). Then
+//
+//	X_{b+ma} = W_q^{a·o} · DFT_q(z_b)[a],  z_b[t] = x_t·W_n^{b(o+t)},
+//
+// where o is the support offset (the W_q^{a·o} phase carries the shift),
+//
+// i.e. m chirp-scaled q-point DFTs instead of one n-point DFT: cost
+// m·(k + q·log q) versus n·log n.
+type PrunedPlan struct {
+	n, k, q, m int
+	qplan      *Plan
+	wn         []complex128 // W_n^j = exp(-2πi j/n), j < n
+}
+
+// NewPrunedPlan creates a pruned plan for length-n transforms with input
+// support ≤ k. n must be a power of two (the sizes used throughout the
+// paper) and 1 ≤ k ≤ n.
+func NewPrunedPlan(n, k int) (*PrunedPlan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: pruned plan requires power-of-two n, got %d", n)
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("fft: pruned support k=%d out of range [1,%d]", k, n)
+	}
+	q := 1
+	for q < k {
+		q <<= 1
+	}
+	p := &PrunedPlan{n: n, k: k, q: q, m: n / q}
+	var err error
+	p.qplan, err = NewPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	p.wn = make([]complex128, n)
+	for j := range p.wn {
+		s, c := math.Sincos(-2 * math.Pi * float64(j) / float64(n))
+		p.wn[j] = complex(c, s)
+	}
+	return p, nil
+}
+
+// N returns the full transform length.
+func (p *PrunedPlan) N() int { return p.n }
+
+// K returns the maximum input support.
+func (p *PrunedPlan) K() int { return p.k }
+
+// Forward computes the length-n DFT of the signal that equals src (length
+// ≤ k) at positions [off, off+len(src)) and zero elsewhere. dst must have
+// length n. scratch must have length ≥ q.
+func (p *PrunedPlan) Forward(dst []complex128, src []complex128, off int, scratch []complex128) error {
+	if len(dst) != p.n {
+		return fmt.Errorf("fft: pruned dst length %d != %d", len(dst), p.n)
+	}
+	if len(src) > p.k {
+		return fmt.Errorf("fft: pruned src length %d > support %d", len(src), p.k)
+	}
+	if off < 0 || off+len(src) > p.n {
+		return fmt.Errorf("fft: pruned support [%d,%d) outside [0,%d)", off, off+len(src), p.n)
+	}
+	if len(scratch) < p.q {
+		return fmt.Errorf("fft: pruned scratch length %d < %d", len(scratch), p.q)
+	}
+	z := scratch[:p.q]
+	for b := 0; b < p.m; b++ {
+		for i := range z {
+			z[i] = 0
+		}
+		// z_b[t] = x[off+t]·W_n^{b·(off+t)}; the offset folds into the
+		// chirp so the caller never materializes the shifted signal.
+		for t := 0; t < len(src); t++ {
+			z[t] = src[t] * p.wn[(b*(off+t))%p.n]
+		}
+		if err := p.qplan.Forward(z, z); err != nil {
+			return err
+		}
+		for a := 0; a < p.q; a++ {
+			// W_q^{a·off} = W_n^{m·a·off} carries the support shift.
+			dst[b+p.m*a] = z[a] * p.wn[(p.m*a%p.n)*(off%p.n)%p.n]
+		}
+	}
+	return nil
+}
+
+// FlopEstimate returns approximate complex-multiply counts for the pruned
+// transform and for a plain padded n-point FFT, for reporting and the
+// ablation bench.
+func (p *PrunedPlan) FlopEstimate() (pruned, full float64) {
+	logq := math.Log2(float64(p.q))
+	pruned = float64(p.m) * (float64(p.k) + float64(p.q)/2*logq)
+	full = float64(p.n) / 2 * math.Log2(float64(p.n))
+	return
+}
+
+// InverseSampled evaluates the normalized inverse DFT of spectrum (length
+// n) only at the given output indices, returning one value per index. For
+// few samples it uses direct evaluation, O(|idx|·n); above the crossover it
+// falls back to a full inverse transform plus gather. This is the 1D
+// analogue of the paper's "compression applied after each 1D iFFT stage":
+// outputs that the sampling policy discards are never computed.
+func InverseSampled(plan *Plan, spectrum []complex128, idx []int) ([]complex128, error) {
+	n := plan.N()
+	if len(spectrum) != n {
+		return nil, fmt.Errorf("fft: spectrum length %d != plan %d", len(spectrum), n)
+	}
+	out := make([]complex128, len(idx))
+	// Crossover: direct costs |idx|·n multiplies, the full inverse costs
+	// ~n·log2(n)/2. Pick direct when clearly cheaper.
+	if float64(len(idx))*float64(n) < float64(n)*math.Log2(float64(n)) {
+		for i, j := range idx {
+			if j < 0 || j >= n {
+				return nil, fmt.Errorf("fft: sample index %d outside [0,%d)", j, n)
+			}
+			var sum complex128
+			for t := 0; t < n; t++ {
+				ang := 2 * math.Pi * float64(j*t%n) / float64(n)
+				s, c := math.Sincos(ang)
+				sum += spectrum[t] * complex(c, s)
+			}
+			out[i] = sum / complex(float64(n), 0)
+		}
+		return out, nil
+	}
+	full := make([]complex128, n)
+	if err := plan.Inverse(full, spectrum); err != nil {
+		return nil, err
+	}
+	for i, j := range idx {
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("fft: sample index %d outside [0,%d)", j, n)
+		}
+		out[i] = full[j]
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package fft
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPrunedForwardMatchesPadded(t *testing.T) {
+	for _, tc := range []struct{ n, k, off int }{
+		{64, 8, 0},
+		{64, 8, 13},
+		{64, 8, 56},
+		{128, 32, 0},
+		{128, 32, 96},
+		{128, 5, 40}, // support smaller than plan k rounds to q=8
+		{256, 1, 100},
+		{16, 16, 0}, // no pruning possible: q == n
+	} {
+		pp, err := NewPrunedPlan(tc.n, tc.k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d: %v", tc.n, tc.k, err)
+		}
+		src := randComplex(tc.k, int64(tc.n+tc.k+tc.off))
+		// Reference: explicit zero-padding + full FFT.
+		padded := make([]complex128, tc.n)
+		copy(padded[tc.off:], src)
+		want := make([]complex128, tc.n)
+		if err := MustPlan(tc.n).Forward(want, padded); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]complex128, tc.n)
+		scratch := make([]complex128, tc.n)
+		if err := pp.Forward(got, src, tc.off, scratch); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(got, want); d > 1e-9 {
+			t.Errorf("n=%d k=%d off=%d: diff %g", tc.n, tc.k, tc.off, d)
+		}
+	}
+}
+
+func TestPrunedPlanErrors(t *testing.T) {
+	if _, err := NewPrunedPlan(100, 8); err == nil {
+		t.Error("non-pow2 n should fail")
+	}
+	if _, err := NewPrunedPlan(64, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NewPrunedPlan(64, 65); err == nil {
+		t.Error("k>n should fail")
+	}
+	pp, _ := NewPrunedPlan(64, 8)
+	dst := make([]complex128, 64)
+	scratch := make([]complex128, 64)
+	if err := pp.Forward(dst[:10], make([]complex128, 8), 0, scratch); err == nil {
+		t.Error("short dst should fail")
+	}
+	if err := pp.Forward(dst, make([]complex128, 9), 0, scratch); err == nil {
+		t.Error("src longer than k should fail")
+	}
+	if err := pp.Forward(dst, make([]complex128, 8), 60, scratch); err == nil {
+		t.Error("support past end should fail")
+	}
+	if err := pp.Forward(dst, make([]complex128, 8), -1, scratch); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if err := pp.Forward(dst, make([]complex128, 8), 0, make([]complex128, 2)); err == nil {
+		t.Error("short scratch should fail")
+	}
+}
+
+func TestPrunedFlopEstimateWins(t *testing.T) {
+	pp, _ := NewPrunedPlan(2048, 32)
+	pruned, full := pp.FlopEstimate()
+	if pruned >= full {
+		t.Errorf("pruned=%g should beat full=%g for k<<n", pruned, full)
+	}
+	// Degenerate case k == n: pruning cannot win.
+	pp2, _ := NewPrunedPlan(64, 64)
+	p2, f2 := pp2.FlopEstimate()
+	if p2 < f2*0.9 {
+		t.Errorf("k==n pruned=%g full=%g: no pruning win expected", p2, f2)
+	}
+}
+
+func TestInverseSampled(t *testing.T) {
+	n := 128
+	p := MustPlan(n)
+	x := randComplex(n, 3)
+	spec := make([]complex128, n)
+	if err := p.Forward(spec, x); err != nil {
+		t.Fatal(err)
+	}
+	// Few indices → direct path.
+	idx := []int{0, 1, 17, 64, 127}
+	got, err := InverseSampled(p, spec, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range idx {
+		if d := absC(got[i] - x[j]); d > 1e-9 {
+			t.Errorf("sample %d (idx %d): diff %g", i, j, d)
+		}
+	}
+	// Many indices → full-transform path.
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	got, err = InverseSampled(p, spec, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(got, x); d > 1e-10 {
+		t.Errorf("full-path diff %g", d)
+	}
+}
+
+func TestInverseSampledErrors(t *testing.T) {
+	p := MustPlan(16)
+	spec := make([]complex128, 16)
+	if _, err := InverseSampled(p, spec[:4], []int{0}); err == nil {
+		t.Error("short spectrum should fail")
+	}
+	if _, err := InverseSampled(p, spec, []int{16}); err == nil {
+		t.Error("index out of range should fail")
+	}
+	if _, err := InverseSampled(p, spec, []int{-1}); err == nil {
+		t.Error("negative index should fail")
+	}
+}
+
+func absC(c complex128) float64 {
+	re, im := real(c), imag(c)
+	if re < 0 {
+		re = -re
+	}
+	if im < 0 {
+		im = -im
+	}
+	if re > im {
+		return re + im // cheap upper bound is fine for tests against tolerances
+	}
+	return im + re
+}
+
+func BenchmarkPrunedVsPadded(b *testing.B) {
+	n, k := 2048, 32
+	pp, _ := NewPrunedPlan(n, k)
+	full := MustPlan(n)
+	src := randComplex(k, 1)
+	dst := make([]complex128, n)
+	scratch := make([]complex128, n)
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := pp.Forward(dst, src, 512, scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("padded", func(b *testing.B) {
+		padded := make([]complex128, n)
+		for i := 0; i < b.N; i++ {
+			for j := range padded {
+				padded[j] = 0
+			}
+			copy(padded[512:], src)
+			if err := full.Forward(dst, padded); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPlan1D(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		p := MustPlan(n)
+		x := randComplex(n, int64(n))
+		y := make([]complex128, n)
+		b.Run(p2s(n), func(b *testing.B) {
+			b.SetBytes(int64(16 * n))
+			for i := 0; i < b.N; i++ {
+				if err := p.Forward(y, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func p2s(n int) string {
+	switch n {
+	case 256:
+		return "n256"
+	case 1024:
+		return "n1024"
+	case 4096:
+		return "n4096"
+	}
+	return "n"
+}
+
+var _ = rand.Int // keep math/rand imported for helpers above

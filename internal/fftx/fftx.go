@@ -1,0 +1,127 @@
+// Package fftx is a small plan-composition framework modeled on the
+// paper's §6: "the overall FFTX plan is composed of a sequence of
+// sub-plans. Each sub-plan handles a separate task, such as a forward
+// transform, an inverse transform, input padding or output pruning." It
+// decouples algorithm *specification* (a declarative chain of sub-plans
+// over named buffers) from *execution* (the lowcomm3d kernels), the way
+// FFTX decouples specification from SPIRAL code generation.
+//
+// MassifConvolutionPlan mirrors the paper's Fig. 5 sketch: padding → guru
+// R2C DFT → pointwise scaling callback → C2R DFT with adaptive-sampling
+// callback → copy-out.
+package fftx
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Env is the named-buffer environment a plan executes against. Sub-plans
+// read and write buffers by name; the same plan can be executed repeatedly
+// against fresh environments ("the plan can be executed more than once").
+type Env map[string]any
+
+// Get fetches a typed buffer from the environment.
+func Get[T any](env Env, name string) (T, error) {
+	var zero T
+	v, ok := env[name]
+	if !ok {
+		return zero, fmt.Errorf("fftx: buffer %q not bound", name)
+	}
+	t, ok := v.(T)
+	if !ok {
+		return zero, fmt.Errorf("fftx: buffer %q has type %T, want %T", name, v, zero)
+	}
+	return t, nil
+}
+
+// SubPlan is one stage of a composed plan.
+type SubPlan interface {
+	// Name identifies the stage in reports.
+	Name() string
+	// Reads and Writes declare the buffer names the stage touches; the
+	// composer validates the dataflow before execution.
+	Reads() []string
+	Writes() []string
+	// Apply executes the stage against the environment.
+	Apply(env Env) error
+}
+
+// Plan is a validated sequence of sub-plans.
+type Plan struct {
+	subs    []SubPlan
+	inputs  []string
+	timings []time.Duration
+}
+
+// Compose builds a plan from sub-plans, validating the dataflow: every
+// buffer a stage reads must be written by an earlier stage or listed as a
+// plan input. This is the "plan composition" step of the paper's Fig. 5
+// (fftx_plan_compose).
+func Compose(inputs []string, subs ...SubPlan) (*Plan, error) {
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("fftx: empty plan")
+	}
+	available := make(map[string]bool, len(inputs))
+	for _, in := range inputs {
+		available[in] = true
+	}
+	for i, s := range subs {
+		for _, r := range s.Reads() {
+			if !available[r] {
+				return nil, fmt.Errorf("fftx: sub-plan %d (%s) reads %q before it is produced", i, s.Name(), r)
+			}
+		}
+		for _, w := range s.Writes() {
+			available[w] = true
+		}
+	}
+	return &Plan{subs: subs, inputs: inputs}, nil
+}
+
+// Execute runs the plan against env, recording per-stage timings (the
+// FFTX_MODE_OBSERVE role).
+func (p *Plan) Execute(env Env) error {
+	for _, in := range p.inputs {
+		if _, ok := env[in]; !ok {
+			return fmt.Errorf("fftx: plan input %q not bound", in)
+		}
+	}
+	p.timings = make([]time.Duration, len(p.subs))
+	for i, s := range p.subs {
+		start := time.Now()
+		if err := s.Apply(env); err != nil {
+			return fmt.Errorf("fftx: sub-plan %d (%s): %w", i, s.Name(), err)
+		}
+		p.timings[i] = time.Since(start)
+	}
+	return nil
+}
+
+// Stages returns the sub-plan names in order.
+func (p *Plan) Stages() []string {
+	names := make([]string, len(p.subs))
+	for i, s := range p.subs {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// Report formats the last execution's per-stage timings.
+func (p *Plan) Report() string {
+	var b strings.Builder
+	for i, s := range p.subs {
+		var t time.Duration
+		if i < len(p.timings) {
+			t = p.timings[i]
+		}
+		fmt.Fprintf(&b, "%-28s %12v\n", s.Name(), t)
+	}
+	return b.String()
+}
+
+// String lists the composed stages.
+func (p *Plan) String() string {
+	return "fftx.Plan{" + strings.Join(p.Stages(), " → ") + "}"
+}

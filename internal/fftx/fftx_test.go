@@ -1,0 +1,273 @@
+package fftx
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"lowcomm3d/internal/conv"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/sample"
+)
+
+func TestComposeValidatesDataflow(t *testing.T) {
+	dim := grid.Cube(8)
+	box := grid.CubeAt(grid.Point{0, 0, 0}, 4)
+	// Reading a buffer nothing produces must fail at compose time.
+	_, err := Compose(nil, DFT3D{InOut: "ghost"})
+	if err == nil {
+		t.Error("unbound read should fail composition")
+	}
+	// Correct wiring composes.
+	p, err := Compose([]string{"small_cube"},
+		ZeroEmbed{In: "small_cube", Out: "spec", Dim: dim, Box: box},
+		DFT3D{InOut: "spec"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stages()) != 2 {
+		t.Errorf("stages = %v", p.Stages())
+	}
+	if _, err := Compose(nil); err == nil {
+		t.Error("empty plan should fail")
+	}
+}
+
+func TestExecuteMissingInput(t *testing.T) {
+	dim := grid.Cube(8)
+	box := grid.CubeAt(grid.Point{0, 0, 0}, 4)
+	p, err := Compose([]string{"small_cube"},
+		ZeroEmbed{In: "small_cube", Out: "spec", Dim: dim, Box: box})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Execute(Env{}); err == nil {
+		t.Error("missing input should fail execution")
+	}
+}
+
+func TestGetTypeMismatch(t *testing.T) {
+	env := Env{"x": 42}
+	if _, err := Get[*grid.Field](env, "x"); err == nil {
+		t.Error("type mismatch should fail")
+	}
+	if _, err := Get[*grid.Field](env, "missing"); err == nil {
+		t.Error("missing buffer should fail")
+	}
+}
+
+func TestMassifConvolutionPlanMatchesBaseline(t *testing.T) {
+	// The declarative Fig. 5 plan must compute exactly what the
+	// traditional dense path computes when sampling is lossless.
+	n, k := 16, 8
+	dim := grid.Cube(n)
+	box := grid.CubeAt(grid.Point{4, 4, 4}, k)
+	kernel := green.Gaussian{Sigma: 1.5}
+	tree, err := sample.Uniform{Rate: 1, CellSize: 8}.Tree(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := MassifConvolutionPlan(dim, box, tree, kernel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := grid.NewField(grid.Cube(k))
+	rng := rand.New(rand.NewSource(9))
+	for i := range cube.Data {
+		cube.Data[i] = rng.NormFloat64()
+	}
+	env := Env{"small_cube": cube}
+	if err := plan.Execute(env); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Get[*grid.Field](env, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := conv.BaselineSubdomain(dim, box, cube, kernel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := grid.RelL2(out, want); r > 1e-10 {
+		t.Errorf("plan result differs from baseline by %g", r)
+	}
+	// Compressed intermediate must also be available.
+	comp, err := Get[*sample.Compressed](env, "compressed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Tree != tree {
+		t.Error("compressed output not bound to the plan's tree")
+	}
+}
+
+func TestMassifPlanMatchesLocalPipeline(t *testing.T) {
+	// Same specification, two execution strategies: the declarative dense
+	// plan and the slab/pencil streaming pipeline must agree at the
+	// sample points.
+	n, k := 16, 8
+	dim := grid.Cube(n)
+	box := grid.CubeAt(grid.Point{8, 0, 8}, k)
+	kernel := green.Gaussian{Sigma: 1}
+	tree, err := sample.DefaultPolicy(box, 8).Tree(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := MassifConvolutionPlan(dim, box, tree, kernel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := grid.NewField(grid.Cube(k))
+	rng := rand.New(rand.NewSource(13))
+	for i := range cube.Data {
+		cube.Data[i] = rng.NormFloat64()
+	}
+	env := Env{"small_cube": cube}
+	if err := plan.Execute(env); err != nil {
+		t.Fatal(err)
+	}
+	declarative, err := Get[*sample.Compressed](env, "compressed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := conv.NewLocal(dim, box, tree, conv.KernelPointwise(dim, kernel), conv.Config{Pruned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streaming, _, err := local.Run(cube)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range declarative.Samples {
+		if math.Abs(declarative.Samples[i]-streaming.Samples[i]) > 1e-10 {
+			t.Fatalf("sample %d: declarative %g streaming %g", i,
+				declarative.Samples[i], streaming.Samples[i])
+		}
+	}
+}
+
+func TestPlanReportAndString(t *testing.T) {
+	dim := grid.Cube(8)
+	box := grid.CubeAt(grid.Point{0, 0, 0}, 4)
+	tree, err := sample.Uniform{Rate: 1, CellSize: 4}.Tree(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := MassifConvolutionPlan(dim, box, tree, green.Delta{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.String(), "pointwise_c2c") {
+		t.Errorf("plan string missing stages: %s", plan)
+	}
+	cube := grid.NewField(grid.Cube(4))
+	cube.Fill(1)
+	if err := plan.Execute(Env{"small_cube": cube}); err != nil {
+		t.Fatal(err)
+	}
+	rep := plan.Report()
+	if !strings.Contains(rep, "guru_dft_r2c") || !strings.Contains(rep, "adaptive_sampling") {
+		t.Errorf("report missing stages:\n%s", rep)
+	}
+}
+
+func TestZeroEmbedSizeMismatch(t *testing.T) {
+	z := ZeroEmbed{In: "a", Out: "b", Dim: grid.Cube(8), Box: grid.CubeAt(grid.Point{0, 0, 0}, 4)}
+	env := Env{"a": grid.NewField(grid.Cube(2))}
+	if err := z.Apply(env); err == nil {
+		t.Error("size mismatch should fail")
+	}
+}
+
+func TestPlanReusableAcrossExecutions(t *testing.T) {
+	// "The plan can be executed more than once": same plan, two inputs,
+	// results must be independent and correct (linearity check).
+	n, k := 8, 4
+	dim := grid.Cube(n)
+	box := grid.CubeAt(grid.Point{2, 2, 2}, k)
+	tree, err := sample.Uniform{Rate: 1, CellSize: 4}.Tree(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := MassifConvolutionPlan(dim, box, tree, green.Gaussian{Sigma: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(fill float64) *grid.Field {
+		cube := grid.NewField(grid.Cube(k))
+		cube.Fill(fill)
+		env := Env{"small_cube": cube}
+		if err := plan.Execute(env); err != nil {
+			t.Fatal(err)
+		}
+		out, err := Get[*grid.Field](env, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	o1 := run(1)
+	o2 := run(2)
+	for i := range o1.Data {
+		if math.Abs(o2.Data[i]-2*o1.Data[i]) > 1e-10 {
+			t.Fatalf("linearity across executions violated at %d", i)
+		}
+	}
+}
+
+func TestStreamingPlanMatchesDeclarative(t *testing.T) {
+	// Two execution strategies for one specification must produce
+	// identical compressed buffers — the §6 decoupling thesis.
+	n, k := 16, 8
+	dim := grid.Cube(n)
+	box := grid.CubeAt(grid.Point{4, 0, 8}, k)
+	kernel := green.Gaussian{Sigma: 1.2}
+	tree, err := sample.DefaultPolicy(box, 8).Tree(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	declPlan, err := MassifConvolutionPlan(dim, box, tree, kernel, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamPlan, err := MassifConvolutionPlanStreaming(dim, box, tree, kernel, conv.Config{Pruned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube := grid.NewField(grid.Cube(k))
+	rng := rand.New(rand.NewSource(17))
+	for i := range cube.Data {
+		cube.Data[i] = rng.NormFloat64()
+	}
+	run := func(p *Plan) *sample.Compressed {
+		env := Env{"small_cube": cube}
+		if err := p.Execute(env); err != nil {
+			t.Fatal(err)
+		}
+		c, err := Get[*sample.Compressed](env, "compressed")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a := run(declPlan)
+	b := run(streamPlan)
+	for i := range a.Samples {
+		if math.Abs(a.Samples[i]-b.Samples[i]) > 1e-10 {
+			t.Fatalf("backends diverge at sample %d: %g vs %g", i, a.Samples[i], b.Samples[i])
+		}
+	}
+	// The streaming plan reports its stage in Stages().
+	found := false
+	for _, s := range streamPlan.Stages() {
+		if strings.Contains(s, "local_pipeline") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("streaming plan stages: %v", streamPlan.Stages())
+	}
+}

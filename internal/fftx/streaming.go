@@ -1,0 +1,59 @@
+package fftx
+
+import (
+	"lowcomm3d/internal/conv"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/octree"
+)
+
+// StreamingLocal is an alternative *execution strategy* for the pruned
+// convolution specification: instead of the dense ZeroEmbed → DFT →
+// Pointwise → iDFT → AdaptiveSample chain, it runs the slab/pencil
+// streaming pipeline (conv.Local) that never materializes the N³ buffer.
+// Same buffers in ("small_cube"), same buffers out ("compressed") — the
+// paper's §6 point that a specification framework lets the backend swap
+// implementations without touching the algorithm description.
+type StreamingLocal struct {
+	In, Out string
+	Local   *conv.Local
+}
+
+// Name implements SubPlan.
+func (s StreamingLocal) Name() string { return "local_pipeline(" + s.In + "→" + s.Out + ")" }
+
+// Reads implements SubPlan.
+func (s StreamingLocal) Reads() []string { return []string{s.In} }
+
+// Writes implements SubPlan.
+func (s StreamingLocal) Writes() []string { return []string{s.Out} }
+
+// Apply implements SubPlan.
+func (s StreamingLocal) Apply(env Env) error {
+	in, err := Get[*grid.Field](env, s.In)
+	if err != nil {
+		return err
+	}
+	out, _, err := s.Local.Run(in)
+	if err != nil {
+		return err
+	}
+	env[s.Out] = out
+	return nil
+}
+
+// MassifConvolutionPlanStreaming builds the same specification as
+// MassifConvolutionPlan but executed through the streaming slab/pencil
+// backend. The two plans are interchangeable: identical inputs, identical
+// "compressed" and "out" buffers (verified by the package tests).
+func MassifConvolutionPlanStreaming(dim grid.Dim3, box grid.Box, tree *octree.Tree, kernel green.Kernel, cfg conv.Config) (*Plan, error) {
+	local, err := conv.NewLocal(dim, box, tree, conv.KernelPointwise(dim, kernel), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return Compose(
+		[]string{"small_cube"},
+		StreamingLocal{In: "small_cube", Out: "compressed", Local: local},
+		CopyOut{In: "compressed", Out: "out"},
+	)
+}

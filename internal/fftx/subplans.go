@@ -1,0 +1,204 @@
+package fftx
+
+import (
+	"fmt"
+
+	"lowcomm3d/internal/conv"
+	"lowcomm3d/internal/fft"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/octree"
+	"lowcomm3d/internal/sample"
+)
+
+// ZeroEmbed is the input-padding sub-plan: it embeds a k³ real field (the
+// "small cube" of Fig. 5) into an otherwise-zero N³ complex buffer.
+type ZeroEmbed struct {
+	In, Out string
+	Dim     grid.Dim3
+	Box     grid.Box
+}
+
+// Name implements SubPlan.
+func (z ZeroEmbed) Name() string { return "zero_embed(" + z.In + "→" + z.Out + ")" }
+
+// Reads implements SubPlan.
+func (z ZeroEmbed) Reads() []string { return []string{z.In} }
+
+// Writes implements SubPlan.
+func (z ZeroEmbed) Writes() []string { return []string{z.Out} }
+
+// Apply implements SubPlan.
+func (z ZeroEmbed) Apply(env Env) error {
+	in, err := Get[*grid.Field](env, z.In)
+	if err != nil {
+		return err
+	}
+	s := z.Box.Size()
+	if (grid.Dim3{Nx: s[0], Ny: s[1], Nz: s[2]}) != in.Dim {
+		return fmt.Errorf("fftx: cube %v does not match box %v", in.Dim, z.Box)
+	}
+	out := grid.NewComplexField(z.Dim)
+	i := 0
+	z.Box.ForEach(func(x, y, zz int) {
+		out.Set(x, y, zz, complex(in.Data[i], 0))
+		i++
+	})
+	env[z.Out] = out
+	return nil
+}
+
+// DFT3D is the guru transform sub-plan (fftx_plan_guru_dft_r2c / _c2r in
+// Fig. 5): an in-place 3D transform of a complex buffer.
+type DFT3D struct {
+	InOut   string
+	Inverse bool
+	Workers int
+}
+
+// Name implements SubPlan.
+func (d DFT3D) Name() string {
+	if d.Inverse {
+		return "guru_dft_c2r(" + d.InOut + ")"
+	}
+	return "guru_dft_r2c(" + d.InOut + ")"
+}
+
+// Reads implements SubPlan.
+func (d DFT3D) Reads() []string { return []string{d.InOut} }
+
+// Writes implements SubPlan.
+func (d DFT3D) Writes() []string { return []string{d.InOut} }
+
+// Apply implements SubPlan.
+func (d DFT3D) Apply(env Env) error {
+	f, err := Get[*grid.ComplexField](env, d.InOut)
+	if err != nil {
+		return err
+	}
+	plan, err := fft.NewPlan3D(f.Dim, d.Workers)
+	if err != nil {
+		return err
+	}
+	if d.Inverse {
+		return plan.Inverse(f)
+	}
+	return plan.Forward(f)
+}
+
+// PointwiseC2C is the pointwise sub-plan with a user callback — Fig. 5's
+// fftx_plan_guru_pointwise_c2c with the complex_scaling callback.
+type PointwiseC2C struct {
+	InOut    string
+	Callback conv.Pointwise
+}
+
+// Name implements SubPlan.
+func (p PointwiseC2C) Name() string { return "pointwise_c2c(" + p.InOut + ")" }
+
+// Reads implements SubPlan.
+func (p PointwiseC2C) Reads() []string { return []string{p.InOut} }
+
+// Writes implements SubPlan.
+func (p PointwiseC2C) Writes() []string { return []string{p.InOut} }
+
+// Apply implements SubPlan.
+func (p PointwiseC2C) Apply(env Env) error {
+	f, err := Get[*grid.ComplexField](env, p.InOut)
+	if err != nil {
+		return err
+	}
+	d := f.Dim
+	i := 0
+	for kz := 0; kz < d.Nz; kz++ {
+		for ky := 0; ky < d.Ny; ky++ {
+			for kx := 0; kx < d.Nx; kx++ {
+				f.Data[i] = p.Callback(kx, ky, kz, f.Data[i])
+				i++
+			}
+		}
+	}
+	return nil
+}
+
+// AdaptiveSample is the output-pruning sub-plan — Fig. 5's
+// adaptive_sampling callback attached to the inverse transform: it stores
+// the real part of the buffer at the octree's sample points, discarding
+// the rest.
+type AdaptiveSample struct {
+	In, Out string
+	Tree    *octree.Tree
+}
+
+// Name implements SubPlan.
+func (a AdaptiveSample) Name() string { return "adaptive_sampling(" + a.In + "→" + a.Out + ")" }
+
+// Reads implements SubPlan.
+func (a AdaptiveSample) Reads() []string { return []string{a.In} }
+
+// Writes implements SubPlan.
+func (a AdaptiveSample) Writes() []string { return []string{a.Out} }
+
+// Apply implements SubPlan.
+func (a AdaptiveSample) Apply(env Env) error {
+	f, err := Get[*grid.ComplexField](env, a.In)
+	if err != nil {
+		return err
+	}
+	if f.Dim != a.Tree.Dim {
+		return fmt.Errorf("fftx: buffer dims %v != tree dims %v", f.Dim, a.Tree.Dim)
+	}
+	out := sample.NewCompressed(a.Tree)
+	a.Tree.ForEachSample(func(cell, s, x, y, z int) {
+		out.Samples[s] = real(f.At(x, y, z))
+	})
+	env[a.Out] = out
+	return nil
+}
+
+// CopyOut is Fig. 5's copy_offset stage: it reconstructs the compressed
+// samples into a dense output field ("the pruned or sampled points need to
+// be mapped back into their location in the dense output cube").
+type CopyOut struct {
+	In, Out string
+}
+
+// Name implements SubPlan.
+func (c CopyOut) Name() string { return "copy_offset(" + c.In + "→" + c.Out + ")" }
+
+// Reads implements SubPlan.
+func (c CopyOut) Reads() []string { return []string{c.In} }
+
+// Writes implements SubPlan.
+func (c CopyOut) Writes() []string { return []string{c.Out} }
+
+// Apply implements SubPlan.
+func (c CopyOut) Apply(env Env) error {
+	in, err := Get[*sample.Compressed](env, c.In)
+	if err != nil {
+		return err
+	}
+	dense, err := in.Reconstruct()
+	if err != nil {
+		return err
+	}
+	env[c.Out] = dense
+	return nil
+}
+
+// MassifConvolutionPlan mirrors the paper's Fig. 5
+// massif_convolution_plan: the full pruned-convolution specification as a
+// composition of sub-plans. Inputs: "small_cube" (*grid.Field of the
+// sub-domain). Outputs: "compressed" (*sample.Compressed) and "out"
+// (*grid.Field, dense reconstruction).
+func MassifConvolutionPlan(dim grid.Dim3, box grid.Box, tree *octree.Tree, kernel green.Kernel, workers int) (*Plan, error) {
+	return Compose(
+		[]string{"small_cube"},
+		ZeroEmbed{In: "small_cube", Out: "spec", Dim: dim, Box: box},
+		DFT3D{InOut: "spec", Workers: workers},
+		PointwiseC2C{InOut: "spec", Callback: conv.KernelPointwise(dim, kernel)},
+		DFT3D{InOut: "spec", Inverse: true, Workers: workers},
+		AdaptiveSample{In: "spec", Out: "compressed", Tree: tree},
+		CopyOut{In: "compressed", Out: "out"},
+	)
+}

@@ -1,0 +1,75 @@
+// Package gpu simulates the proof-of-concept hardware of the paper's §4–5:
+// a device with fixed on-board memory, a byte-exact allocation ledger,
+// cuFFT-style plan temporaries, and a calibrated roofline runtime model.
+// Tables 1, 2 and 4 are functions of allocation sizes and Table 3 of
+// operation counts, so the ledger and model reproduce their shape; the
+// numerical pipeline itself runs for real in pure Go (internal/conv).
+package gpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOutOfMemory is returned when an allocation exceeds device capacity.
+var ErrOutOfMemory = errors.New("gpu: out of device memory")
+
+// GiB is one gibibyte; the paper's "GB" figures are binary (8·1024³ bytes
+// for a 1024³ double grid is reported as 8 GB).
+const GiB = 1 << 30
+
+// Device is a simulated accelerator with a fixed memory capacity.
+type Device struct {
+	Name     string
+	Capacity int64
+	used     int64
+	peak     int64
+}
+
+// V100_16GB and V100_32GB mirror the paper's hardware setup (§4).
+func V100_16GB() *Device { return &Device{Name: "V100-16GB", Capacity: 16 * GiB} }
+
+// V100_32GB is the DGX-2 variant used for N > 512.
+func V100_32GB() *Device { return &Device{Name: "V100-32GB", Capacity: 32 * GiB} }
+
+// Allocation is a live region of device memory.
+type Allocation struct {
+	dev   *Device
+	Bytes int64
+	freed bool
+}
+
+// Alloc reserves bytes on the device, failing with ErrOutOfMemory when the
+// capacity would be exceeded.
+func (d *Device) Alloc(bytes int64) (*Allocation, error) {
+	if bytes < 0 {
+		return nil, fmt.Errorf("gpu: negative allocation %d", bytes)
+	}
+	if d.used+bytes > d.Capacity {
+		return nil, fmt.Errorf("%w: need %d, free %d of %d (%s)",
+			ErrOutOfMemory, bytes, d.Capacity-d.used, d.Capacity, d.Name)
+	}
+	d.used += bytes
+	if d.used > d.peak {
+		d.peak = d.used
+	}
+	return &Allocation{dev: d, Bytes: bytes}, nil
+}
+
+// Free releases the allocation; double frees are ignored.
+func (a *Allocation) Free() {
+	if a == nil || a.freed {
+		return
+	}
+	a.freed = true
+	a.dev.used -= a.Bytes
+}
+
+// Used returns the bytes currently allocated.
+func (d *Device) Used() int64 { return d.used }
+
+// Peak returns the high-water mark of allocated bytes.
+func (d *Device) Peak() int64 { return d.peak }
+
+// ResetPeak clears the high-water mark (keeps live allocations).
+func (d *Device) ResetPeak() { d.peak = d.used }

@@ -1,0 +1,319 @@
+package gpu
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeviceLedger(t *testing.T) {
+	d := &Device{Name: "test", Capacity: 100}
+	a, err := d.Alloc(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 60 || d.Peak() != 60 {
+		t.Fatalf("used=%d peak=%d", d.Used(), d.Peak())
+	}
+	if _, err := d.Alloc(50); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected OOM, got %v", err)
+	}
+	b, err := d.Alloc(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Peak() != 100 {
+		t.Fatalf("peak=%d want 100", d.Peak())
+	}
+	a.Free()
+	a.Free() // double free must be a no-op
+	b.Free()
+	if d.Used() != 0 {
+		t.Fatalf("used=%d after frees", d.Used())
+	}
+	if d.Peak() != 100 {
+		t.Fatalf("peak must persist, got %d", d.Peak())
+	}
+	d.ResetPeak()
+	if d.Peak() != 0 {
+		t.Fatalf("peak after reset = %d", d.Peak())
+	}
+	if _, err := d.Alloc(-1); err == nil {
+		t.Error("negative alloc should fail")
+	}
+}
+
+func TestDeviceCapacities(t *testing.T) {
+	if V100_16GB().Capacity != 16*GiB {
+		t.Error("16GB device capacity wrong")
+	}
+	if V100_32GB().Capacity != 32*GiB {
+		t.Error("32GB device capacity wrong")
+	}
+}
+
+func TestLocalConvMemoryErrors(t *testing.T) {
+	if _, err := LocalConvMemory(128, 256, 4); err == nil {
+		t.Error("k > n should fail")
+	}
+	if _, err := LocalConvMemory(128, 0, 4); err == nil {
+		t.Error("k = 0 should fail")
+	}
+	if _, err := LocalConvMemory(128, 32, 0); err == nil {
+		t.Error("r = 0 should fail")
+	}
+}
+
+func TestTable1MatchesPaperExactly(t *testing.T) {
+	// Table 1 is pure arithmetic (8·N³ vs 8·N²·k): our values must equal
+	// the paper's GB figures exactly.
+	for _, r := range Table1() {
+		if math.Abs(r.TraditionalGB-r.PaperTraditional) > 1e-9 {
+			t.Errorf("N=%d: traditional %.2f GB, paper %.2f", r.N, r.TraditionalGB, r.PaperTraditional)
+		}
+		if math.Abs(r.LocalGB-r.PaperLocal) > 1e-9 {
+			t.Errorf("N=%d k=%d: local %.2f GB, paper %.2f", r.N, r.K, r.LocalGB, r.PaperLocal)
+		}
+		if r.LocalGB >= r.TraditionalGB {
+			t.Errorf("N=%d k=%d: local must beat traditional", r.N, r.K)
+		}
+	}
+}
+
+func TestTable2MatchesPaper(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.AllowableK != r.PaperK {
+			t.Errorf("N=%d: allowable k = %d, paper %d", r.N, r.AllowableK, r.PaperK)
+		}
+	}
+	// The headline non-monotonicity: k grows with N, then collapses at
+	// N=2048 because the slab no longer fits.
+	if !(rows[3].AllowableK >= rows[2].AllowableK && rows[4].AllowableK < rows[3].AllowableK) {
+		t.Errorf("allowable-k shape wrong: %+v", rows)
+	}
+}
+
+func TestTable4WithinTolerance(t *testing.T) {
+	rows, err := Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Model within 45% of the paper's absolute numbers...
+		if rel := math.Abs(r.EstimatedGB-r.PaperEstimate) / r.PaperEstimate; rel > 0.45 {
+			t.Errorf("N=%d k=%d r=%d: estimated %.2f vs paper %.2f (rel %.2f)",
+				r.N, r.K, r.R, r.EstimatedGB, r.PaperEstimate, rel)
+		}
+		if rel := math.Abs(r.ActualGB-r.PaperActual) / r.PaperActual; rel > 0.45 {
+			t.Errorf("N=%d k=%d r=%d: actual %.2f vs paper %.2f (rel %.2f)",
+				r.N, r.K, r.R, r.ActualGB, r.PaperActual, rel)
+		}
+		// ...and the actual/estimated ratio within 10% of the paper's.
+		paperRatio := r.PaperActual / r.PaperEstimate
+		if rel := math.Abs(r.Ratio-paperRatio) / paperRatio; rel > 0.25 {
+			t.Errorf("N=%d k=%d: ratio %.2f vs paper %.2f", r.N, r.K, r.Ratio, paperRatio)
+		}
+	}
+	// The flagship row (2048, 32, 128) should be near-exact.
+	for _, r := range rows {
+		if r.N == 2048 && r.K == 32 && r.R == 128 {
+			if math.Abs(r.EstimatedGB-8.0) > 0.2 || math.Abs(r.ActualGB-13.16) > 0.5 {
+				t.Errorf("flagship row off: est %.2f act %.2f", r.EstimatedGB, r.ActualGB)
+			}
+		}
+	}
+}
+
+func TestFitsOnRespectsCapacity(t *testing.T) {
+	// (2048, 64, 64) fits a 32 GB V100 (paper actual 26.2 GB) but not a
+	// 16 GB one.
+	m, err := LocalConvMemory(2048, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, peak := m.FitsOn(V100_32GB()); !ok || peak <= 0 {
+		t.Errorf("must fit 32GB (peak %d)", peak)
+	}
+	if ok, _ := m.FitsOn(V100_16GB()); ok {
+		t.Error("must not fit 16GB")
+	}
+	d := V100_32GB()
+	if _, err := AllowableK(d, 2048, 64); err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 0 {
+		t.Errorf("AllowableK leaked %d bytes on the ledger", d.Used())
+	}
+}
+
+func TestAllowableKNoFit(t *testing.T) {
+	tiny := &Device{Name: "tiny", Capacity: 1024}
+	if _, err := AllowableK(tiny, 2048, 64); err == nil {
+		t.Error("nothing fits a 1KB device")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, r := range rows {
+		// GPU must win everywhere and the advantage must grow with N
+		// (the paper's 4×→24× progression).
+		if r.Speedup <= 1 {
+			t.Errorf("N=%d: speedup %.2f ≤ 1", r.N, r.Speedup)
+		}
+		if r.Speedup < prev {
+			t.Errorf("N=%d: speedup %.2f decreased from %.2f", r.N, r.Speedup, prev)
+		}
+		prev = r.Speedup
+		// FFTW column is calibrated: within 15% of the paper at every N.
+		if rel := math.Abs(r.FFTWMs-r.PaperFFTWMs) / r.PaperFFTWMs; rel > 0.15 {
+			t.Errorf("N=%d: FFTW model %.1f ms vs paper %.1f (rel %.2f)", r.N, r.FFTWMs, r.PaperFFTWMs, rel)
+		}
+		// Our column within 45%.
+		if rel := math.Abs(r.OursMs-r.PaperOursMs) / r.PaperOursMs; rel > 0.45 {
+			t.Errorf("N=%d: ours model %.1f ms vs paper %.1f (rel %.2f)", r.N, r.OursMs, r.PaperOursMs, rel)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.Speedup < 20 {
+		t.Errorf("N=1024 speedup %.1f should exceed 20×", last.Speedup)
+	}
+}
+
+func TestHigherRSpeedsUp(t *testing.T) {
+	// Table 3's two N=512 rows: r=8 runs faster than r=4 (fewer kept
+	// planes and samples).
+	p := DefaultPerf()
+	t4, err := p.GPULocalConvSeconds(512, 32, 4, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t8, err := p.GPULocalConvSeconds(512, 32, 8, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8 >= t4 {
+		t.Errorf("r=8 (%.1f ms) should beat r=4 (%.1f ms)", t8*1e3, t4*1e3)
+	}
+}
+
+func TestBatchStudyShape(t *testing.T) {
+	rows, err := BatchStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §5.4: gains positive everywhere, largest at N=256, "smaller for
+	// larger sizes".
+	for _, r := range rows {
+		if r.SpeedupPct <= 0 {
+			t.Errorf("N=%d B%d→%d: gain %.1f%% must be positive", r.N, r.FromB, r.ToB, r.SpeedupPct)
+		}
+	}
+	if !(rows[0].SpeedupPct > rows[1].SpeedupPct && rows[1].SpeedupPct > rows[2].SpeedupPct) {
+		t.Errorf("batch gains must shrink with N: %+v", rows)
+	}
+}
+
+func TestBatchSizeErrors(t *testing.T) {
+	p := DefaultPerf()
+	if _, err := p.GPULocalConvSeconds(128, 32, 4, 0); err == nil {
+		t.Error("zero batch should fail")
+	}
+}
+
+func TestKeptZPlanesBounds(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		n := 64 << (a % 6) // 64..2048
+		k := 8 << (b % 4)  // 8..64
+		if k > n/2 {
+			k = n / 2
+		}
+		r := 4 << (c % 5) // 4..64
+		z := KeptZPlanes(n, k, r)
+		return z >= k && z <= n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemoryMonotonicInK(t *testing.T) {
+	prev := int64(0)
+	for _, k := range []int{8, 16, 32, 64, 128} {
+		m, err := LocalConvMemory(2048, k, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Actual() <= prev {
+			t.Errorf("k=%d: actual %d not increasing", k, m.Actual())
+		}
+		prev = m.Actual()
+	}
+}
+
+func TestConcurrentConvolutions(t *testing.T) {
+	// Small problems batch many-per-GPU; N=2048 fits at most one.
+	small, err := ConcurrentConvolutions(V100_32GB(), 256, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small < 8 {
+		t.Errorf("N=256 should batch many per GPU, got %d", small)
+	}
+	big, err := ConcurrentConvolutions(V100_32GB(), 2048, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big != 1 {
+		t.Errorf("N=2048 k=64 (26.4 GB actual) should fit exactly 1, got %d", big)
+	}
+	// Ledger must be clean afterwards.
+	d := V100_32GB()
+	if _, err := ConcurrentConvolutions(d, 512, 32, 16); err != nil {
+		t.Fatal(err)
+	}
+	if d.Used() != 0 {
+		t.Errorf("leaked %d bytes", d.Used())
+	}
+	if _, err := ConcurrentConvolutions(d, 128, 0, 4); err == nil {
+		t.Error("bad params should fail")
+	}
+}
+
+func TestDGX2BatchStudy(t *testing.T) {
+	rows, err := DGX2BatchStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.PerGPU < 1 {
+			t.Errorf("N=%d: per-GPU concurrency %d", r.N, r.PerGPU)
+		}
+		if r.NodePerSec <= 0 {
+			t.Errorf("N=%d: throughput %g", r.N, r.NodePerSec)
+		}
+		if i > 0 {
+			if r.PerGPU > rows[i-1].PerGPU {
+				t.Errorf("concurrency must shrink with N: %+v", rows)
+			}
+			if r.NodePerSec > rows[i-1].NodePerSec {
+				t.Errorf("throughput must shrink with N: %+v", rows)
+			}
+		}
+	}
+}

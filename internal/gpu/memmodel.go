@@ -1,0 +1,292 @@
+package gpu
+
+import "fmt"
+
+// MemoryBreakdown itemizes the device memory of one local sub-domain
+// convolution (N³ grid, k³ sub-domain, far downsampling rate r), using an
+// analytic model of the paper's cuFFT pipeline:
+//
+//   - the forward stage holds the N×N×k complex slab in and out of place
+//     (cuFFT c2c batched transforms are fastest out of place);
+//   - the inverse stage streams the sampled z planes through a chunk
+//     buffer of at most k planes (the full N³ result is never
+//     materialized — paper §4);
+//   - the compressed output is the Eq. 6 sample count,
+//     k³ + (N³−k³)/r³ doubles;
+//   - cuFFT additionally allocates workspace proportional to the active
+//     plans' data ("creates temporaries in the midst of calculations",
+//     Table 4 caption); the 1.3× factor is calibrated to the paper's
+//     actual/estimated ratio of ≈1.6.
+//
+// The small grids exercised by the real Go pipeline are measured, not
+// modeled (conv.Stats); this model evaluates the paper's 512–8192 rows.
+type MemoryBreakdown struct {
+	N, K, R     int
+	SubDomain   int64 // 8·k³ real input
+	SlabIn      int64 // 16·N²·k complex forward slab (in)
+	SlabOut     int64 // 16·N²·k complex forward slab (out of place)
+	ChunkIn     int64 // 16·N²·k streamed inverse planes (in)
+	ChunkOut    int64 // 16·N²·k streamed inverse planes (out)
+	Samples     int64 // 8·(k³ + (N³−k³)/r³) compressed output
+	CufftWork   int64 // modeled plan temporaries
+	SampleCount int64
+}
+
+// cufftWorkFactor is calibrated against the paper's Table 4 ratio.
+const cufftWorkFactor = 1.3
+
+// LocalConvMemory evaluates the analytic memory model.
+func LocalConvMemory(n, k, r int) (MemoryBreakdown, error) {
+	var m MemoryBreakdown
+	if k < 1 || k > n {
+		return m, fmt.Errorf("gpu: sub-domain %d out of range for grid %d", k, n)
+	}
+	if r < 1 {
+		return m, fmt.Errorf("gpu: rate %d must be positive", r)
+	}
+	nf, kf, rf := float64(n), float64(k), float64(r)
+	slab := int64(16 * nf * nf * kf)
+	samples := int64(kf*kf*kf + (nf*nf*nf-kf*kf*kf)/(rf*rf*rf))
+	m = MemoryBreakdown{
+		N: n, K: k, R: r,
+		SubDomain:   int64(8 * kf * kf * kf),
+		SlabIn:      slab,
+		SlabOut:     slab,
+		ChunkIn:     slab,
+		ChunkOut:    slab,
+		Samples:     8 * samples,
+		SampleCount: samples,
+	}
+	m.CufftWork = int64(cufftWorkFactor * float64(m.SlabIn+m.ChunkIn))
+	return m, nil
+}
+
+// Estimated returns the algorithmic footprint (Table 4 "Estimated").
+func (m MemoryBreakdown) Estimated() int64 {
+	return m.SubDomain + m.SlabIn + m.SlabOut + m.ChunkIn + m.ChunkOut + m.Samples
+}
+
+// Actual returns the footprint including cuFFT temporaries (Table 4
+// "Actual").
+func (m MemoryBreakdown) Actual() int64 { return m.Estimated() + m.CufftWork }
+
+// KeptZPlanes estimates the total number of z planes carrying samples for
+// the §5.4 rate policy without an edge band: the sub-domain and its
+// near shell at rate 2, the mid shell at rate 8, the rest at rate r.
+func KeptZPlanes(n, k, r int) int {
+	near := 2 * k // z span of sub ∪ near shell: k + 2·(k/2)
+	if near > n {
+		near = n
+	}
+	midSpan := k + 8*k // z span out to distance 4k
+	if midSpan > n {
+		midSpan = n
+	}
+	planes := k // rate-1 planes of the sub-domain itself
+	planes += (near - k) / 2
+	planes += (midSpan - near) / 8
+	planes += (n - midSpan) / r
+	if planes > n {
+		planes = n
+	}
+	return planes
+}
+
+// FitsOn simulates the pipeline's allocation schedule on the device ledger
+// and reports whether the peak stays within capacity, plus the peak bytes.
+func (m MemoryBreakdown) FitsOn(d *Device) (bool, int64) {
+	d.ResetPeak()
+	var live []*Allocation
+	alloc := func(b int64) bool {
+		a, err := d.Alloc(b)
+		if err != nil {
+			return false
+		}
+		live = append(live, a)
+		return true
+	}
+	freeAll := func() {
+		for _, a := range live {
+			a.Free()
+		}
+		live = nil
+	}
+	defer freeAll()
+	// Forward stage: input cube, slab in/out, forward-plan workspace.
+	if !alloc(m.SubDomain) || !alloc(m.SlabIn) || !alloc(m.SlabOut) {
+		return false, d.Peak()
+	}
+	fw := int64(cufftWorkFactor * float64(m.SlabIn))
+	a, err := d.Alloc(fw)
+	if err != nil {
+		return false, d.Peak()
+	}
+	a.Free()
+	// Inverse stage: chunk in/out and inverse-plan workspace coexist with
+	// the slab (the spectra feed the chunks); samples accumulate.
+	if !alloc(m.ChunkIn) || !alloc(m.ChunkOut) || !alloc(m.Samples) {
+		return false, d.Peak()
+	}
+	iw := int64(cufftWorkFactor * float64(m.ChunkIn))
+	a, err = d.Alloc(iw)
+	if err != nil {
+		return false, d.Peak()
+	}
+	a.Free()
+	return true, d.Peak()
+}
+
+// TraditionalBytes is the Table 1 "memory for traditional FFT" column:
+// the dense double-precision N³ result, 8·N³ bytes.
+func TraditionalBytes(n int) int64 {
+	return 8 * int64(n) * int64(n) * int64(n)
+}
+
+// LocalModelBytes is the Table 1 "memory for local FFT (ours)" column:
+// the paper's back-of-envelope 8·N²·k slab bytes.
+func LocalModelBytes(n, k int) int64 {
+	return 8 * int64(n) * int64(n) * int64(k)
+}
+
+// Table1Row is one line of the paper's Table 1.
+type Table1Row struct {
+	N, K             int
+	TraditionalGB    float64
+	LocalGB          float64
+	PaperTraditional float64 // the value printed in the paper
+	PaperLocal       float64
+}
+
+// Table1 reproduces the paper's Table 1 rows exactly (same N, k pairs).
+func Table1() []Table1Row {
+	cases := []struct {
+		n, k       int
+		trad, ours float64 // paper-reported GB
+	}{
+		{1024, 128, 8, 1},
+		{1024, 512, 8, 4},
+		{2048, 128, 64, 4},
+		{2048, 512, 64, 16},
+		{4096, 128, 512, 16},
+		{4096, 512, 512, 64},
+		{8192, 64, 4096, 32},
+		{8192, 128, 4096, 64},
+	}
+	rows := make([]Table1Row, 0, len(cases))
+	for _, c := range cases {
+		rows = append(rows, Table1Row{
+			N: c.n, K: c.k,
+			TraditionalGB:    float64(TraditionalBytes(c.n)) / GiB,
+			LocalGB:          float64(LocalModelBytes(c.n, c.k)) / GiB,
+			PaperTraditional: c.trad,
+			PaperLocal:       c.ours,
+		})
+	}
+	return rows
+}
+
+// Table4Row is one line of the paper's Table 4: estimated vs actual GPU
+// memory for the local convolution.
+type Table4Row struct {
+	N, K, R       int
+	EstimatedGB   float64
+	ActualGB      float64
+	Ratio         float64
+	PaperEstimate float64
+	PaperActual   float64
+}
+
+// Table4 evaluates the memory model on the paper's Table 4 parameter rows
+// and reports the paper's figures alongside. The reproduction target is
+// the shape: actual exceeds estimated by a roughly constant
+// cuFFT-workspace factor (paper ratio ≈ 1.6×).
+func Table4() ([]Table4Row, error) {
+	cases := []struct {
+		n, k, r     int
+		est, actual float64 // paper-reported GB
+	}{
+		{512, 32, 16, 0.62, 1.29},
+		{1024, 32, 32, 2.49, 4.33},
+		{2048, 8, 128, 3.52, 5.67},
+		{2048, 16, 128, 5.02, 8.16},
+		{2048, 32, 128, 8.00, 13.16},
+		{2048, 32, 64, 9.97, 16.20},
+		{2048, 64, 64, 15.92, 26.20},
+	}
+	rows := make([]Table4Row, 0, len(cases))
+	for _, c := range cases {
+		m, err := LocalConvMemory(c.n, c.k, c.r)
+		if err != nil {
+			return nil, err
+		}
+		est := float64(m.Estimated()) / GiB
+		act := float64(m.Actual()) / GiB
+		rows = append(rows, Table4Row{
+			N: c.n, K: c.k, R: c.r,
+			EstimatedGB: est, ActualGB: act, Ratio: act / est,
+			PaperEstimate: c.est, PaperActual: c.actual,
+		})
+	}
+	return rows, nil
+}
+
+// Table2Row is one line of the paper's Table 2: the largest sub-domain k
+// that fits on the listed GPU for grid size N.
+type Table2Row struct {
+	N          int
+	AllowableK int
+	Device     string
+	PaperK     int
+}
+
+// AllowableK finds the largest power-of-two k ≤ n/2 whose local
+// convolution fits on the device, using far rate r.
+func AllowableK(d *Device, n, r int) (int, error) {
+	best := 0
+	for k := 2; k <= n/2; k <<= 1 {
+		m, err := LocalConvMemory(n, k, r)
+		if err != nil {
+			return 0, err
+		}
+		if ok, _ := m.FitsOn(d); ok {
+			best = k
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("gpu: no sub-domain size fits N=%d on %s", n, d.Name)
+	}
+	return best, nil
+}
+
+// Table2 reproduces the paper's Table 2: per grid size, the allowable k on
+// the GPU the paper used, with the paper's own ceiling alongside. The far
+// rates follow the paper's experiments (§5.4: coarser far sampling for
+// larger grids).
+func Table2() ([]Table2Row, error) {
+	cases := []struct {
+		n, r   int
+		dev    func() *Device
+		paperK int
+	}{
+		{128, 4, V100_16GB, 64},
+		{256, 8, V100_16GB, 128},
+		{512, 16, V100_16GB, 256},
+		{1024, 32, V100_32GB, 256},
+		{2048, 64, V100_32GB, 64},
+	}
+	rows := make([]Table2Row, 0, len(cases))
+	for _, c := range cases {
+		dev := c.dev()
+		k, err := AllowableK(dev, c.n, c.r)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{N: c.n, AllowableK: k, Device: dev.Name, PaperK: c.paperK})
+	}
+	return rows, nil
+}
+
+// GBString formats bytes as the paper's binary gigabytes.
+func GBString(b int64) string {
+	return fmt.Sprintf("%.2f", float64(b)/GiB)
+}

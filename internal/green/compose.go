@@ -1,0 +1,55 @@
+package green
+
+import (
+	"fmt"
+
+	"lowcomm3d/internal/grid"
+)
+
+// Kernel algebra: scientific Green's functions are often built from
+// simpler ones — screened corrections, weighted sums of solutions, or
+// scaled operators. These combinators keep such compositions inside the
+// Kernel interface so every convolution pipeline accepts them unchanged.
+
+// Scaled multiplies a kernel's spectrum by a constant factor (e.g. a
+// material prefactor like 1/4πε₀).
+type Scaled struct {
+	K      Kernel
+	Factor float64
+}
+
+// Hat implements Kernel.
+func (s Scaled) Hat(d grid.Dim3, kx, ky, kz int) float64 {
+	return s.Factor * s.K.Hat(d, kx, ky, kz)
+}
+
+// Name implements Kernel.
+func (s Scaled) Name() string { return fmt.Sprintf("%g·%s", s.Factor, s.K.Name()) }
+
+// Sum adds two kernels' spectra — by linearity, convolving with Sum{A, B}
+// equals the sum of the two convolutions.
+type Sum struct {
+	A, B Kernel
+}
+
+// Hat implements Kernel.
+func (s Sum) Hat(d grid.Dim3, kx, ky, kz int) float64 {
+	return s.A.Hat(d, kx, ky, kz) + s.B.Hat(d, kx, ky, kz)
+}
+
+// Name implements Kernel.
+func (s Sum) Name() string { return s.A.Name() + "+" + s.B.Name() }
+
+// Product multiplies two kernels' spectra — the composition of the two
+// convolution operators (apply A, then B).
+type Product struct {
+	A, B Kernel
+}
+
+// Hat implements Kernel.
+func (p Product) Hat(d grid.Dim3, kx, ky, kz int) float64 {
+	return p.A.Hat(d, kx, ky, kz) * p.B.Hat(d, kx, ky, kz)
+}
+
+// Name implements Kernel.
+func (p Product) Name() string { return p.A.Name() + "∘" + p.B.Name() }

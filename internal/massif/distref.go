@@ -1,0 +1,203 @@
+package massif
+
+import (
+	"fmt"
+	"math"
+
+	"lowcomm3d/internal/cluster"
+	"lowcomm3d/internal/fft"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+)
+
+// SolveReferenceDistributed runs the paper's Algorithm 1 the way legacy
+// MASSIF deployments do (§2.2: "a parallel FFTW MPI implementation of
+// MASSIF"): strain and stress live as z-slabs across P workers, and every
+// iteration performs one slab transpose per transform direction per tensor
+// component — 2 all-to-alls × 6 components = 12 collectives per iteration,
+// the communication Algorithm 2 collapses to a single sparse exchange.
+// Numerically identical to the serial SolveReference.
+func SolveReferenceDistributed(c *cluster.Cluster, m *Microstructure, E grid.SymTensor, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	n := m.Dim.Nx
+	if m.Dim.Ny != n || m.Dim.Nz != n {
+		return nil, fmt.Errorf("massif: grid %v must be cubic", m.Dim)
+	}
+	if n%c.P != 0 {
+		return nil, fmt.Errorf("massif: grid size %d not divisible by %d workers", n, c.P)
+	}
+	normE := E.Norm() * math.Sqrt(float64(m.Dim.Len()))
+	if normE == 0 {
+		return nil, fmt.Errorf("massif: applied strain must be nonzero")
+	}
+	lambda0, mu0 := m.ReferenceMedium()
+	gamma := green.Gamma{Lambda0: lambda0, Mu0: mu0}
+	zPer := n / c.P
+	plan2d, err := fft.NewPlan2D(n, n, 1)
+	if err != nil {
+		return nil, err
+	}
+	planZ, err := fft.NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+
+	strain := grid.NewTensorField(m.Dim)
+	stress := grid.NewTensorField(m.Dim)
+	res := &Result{Strain: strain, Stress: stress}
+	iterDone := make([]int, c.P)
+	converged := make([]bool, c.P)
+
+	err = c.Run(func(w *cluster.Worker) error {
+		z0 := w.ID * zPer
+		// Per-component local strain slabs (real), z ∈ [z0, z0+zPer).
+		eps := make([][]float64, grid.NumVoigt)
+		for v := range eps {
+			eps[v] = make([]float64, n*n*zPer)
+			for i := range eps[v] {
+				eps[v][i] = E[v]
+			}
+		}
+		slabs := make([][]complex128, grid.NumVoigt)
+		ySlabs := make([][]complex128, grid.NumVoigt)
+		for v := range slabs {
+			slabs[v] = make([]complex128, n*n*zPer)
+		}
+		pencil := make([]complex128, n)
+		var sigma grid.SymTensor
+		var epsT grid.SymTensor
+
+		for iter := 0; iter < opt.MaxIter; iter++ {
+			// σ = C:ε locally, loaded into the complex slabs.
+			for zi := 0; zi < zPer; zi++ {
+				for y := 0; y < n; y++ {
+					for x := 0; x < n; x++ {
+						li := zi*n*n + y*n + x
+						for v := 0; v < grid.NumVoigt; v++ {
+							epsT[v] = eps[v][li]
+						}
+						sigma = m.StressAt(x, y, z0+zi, epsT)
+						for v := 0; v < grid.NumVoigt; v++ {
+							slabs[v][li] = complex(sigma[v], 0)
+						}
+					}
+				}
+			}
+			// Forward: local 2D FFTs, then one transpose per component.
+			for v := 0; v < grid.NumVoigt; v++ {
+				for zi := 0; zi < zPer; zi++ {
+					if err := plan2d.ForwardPlane(slabs[v][zi*n*n : (zi+1)*n*n]); err != nil {
+						return err
+					}
+				}
+				var err error
+				ySlabs[v], err = w.TransposeZY(slabs[v], n, zPer, false)
+				if err != nil {
+					return err
+				}
+			}
+			// z-direction FFTs, the Γ̂ contraction, inverse z FFTs — all
+			// local to the worker's ky range (y-slab layout:
+			// idx = z·n·zPer + yi·n + kx).
+			y0 := w.ID * zPer
+			for yi := 0; yi < zPer; yi++ {
+				for kx := 0; kx < n; kx++ {
+					for v := 0; v < grid.NumVoigt; v++ {
+						for z := 0; z < n; z++ {
+							pencil[z] = ySlabs[v][z*n*zPer+yi*n+kx]
+						}
+						if err := planZ.Forward(pencil, pencil); err != nil {
+							return err
+						}
+						for z := 0; z < n; z++ {
+							ySlabs[v][z*n*zPer+yi*n+kx] = pencil[z]
+						}
+					}
+					// Γ̂ couples components per (kx, ky, kz).
+					for kz := 0; kz < n; kz++ {
+						var re, im grid.SymTensor
+						for v := 0; v < grid.NumVoigt; v++ {
+							cv := ySlabs[v][kz*n*zPer+yi*n+kx]
+							re[v] = real(cv)
+							im[v] = imag(cv)
+						}
+						gre := gamma.ApplyAt(m.Dim, kx, y0+yi, kz, re)
+						gim := gamma.ApplyAt(m.Dim, kx, y0+yi, kz, im)
+						for v := 0; v < grid.NumVoigt; v++ {
+							ySlabs[v][kz*n*zPer+yi*n+kx] = complex(gre[v], gim[v])
+						}
+					}
+					for v := 0; v < grid.NumVoigt; v++ {
+						for z := 0; z < n; z++ {
+							pencil[z] = ySlabs[v][z*n*zPer+yi*n+kx]
+						}
+						if err := planZ.Inverse(pencil, pencil); err != nil {
+							return err
+						}
+						for z := 0; z < n; z++ {
+							ySlabs[v][z*n*zPer+yi*n+kx] = pencil[z]
+						}
+					}
+				}
+			}
+			// Inverse: transpose back per component, local inverse 2D FFTs.
+			for v := 0; v < grid.NumVoigt; v++ {
+				var err error
+				slabs[v], err = w.TransposeZY(ySlabs[v], n, zPer, true)
+				if err != nil {
+					return err
+				}
+				for zi := 0; zi < zPer; zi++ {
+					if err := plan2d.InversePlane(slabs[v][zi*n*n : (zi+1)*n*n]); err != nil {
+						return err
+					}
+				}
+			}
+			// ε ← ε − Δε with a global residual all-reduce.
+			local := 0.0
+			for v := 0; v < grid.NumVoigt; v++ {
+				wgt := 1.0
+				if v >= grid.VYZ {
+					wgt = 2.0
+				}
+				ev := eps[v]
+				sv := slabs[v]
+				for i := range ev {
+					d := real(sv[i])
+					ev[i] -= d
+					local += wgt * d * d
+				}
+			}
+			total := w.AllReduceSum([]float64{local})
+			r := math.Sqrt(total[0]) / normE
+			iterDone[w.ID] = iter + 1
+			if w.ID == 0 {
+				res.Residuals = append(res.Residuals, r)
+			}
+			if r < opt.Tol {
+				converged[w.ID] = true
+				break
+			}
+		}
+		// Assemble owned planes into the shared result (disjoint regions).
+		for v := 0; v < grid.NumVoigt; v++ {
+			for zi := 0; zi < zPer; zi++ {
+				for y := 0; y < n; y++ {
+					for x := 0; x < n; x++ {
+						strain.Comp[v].Set(x, y, z0+zi, eps[v][zi*n*n+y*n+x])
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Iterations = iterDone[0]
+	res.Converged = converged[0]
+	if _, err := m.StressField(strain, stress); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,238 @@
+package massif
+
+import (
+	"fmt"
+	"math"
+
+	"lowcomm3d/internal/cluster"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/octree"
+	"lowcomm3d/internal/sample"
+)
+
+// SolveLowCommDistributed runs Algorithm 2 on a simulated cluster — the
+// paper's Fig. 2 deployment: every worker owns a round-robin share of the
+// k³ sub-domains and holds only those sub-domains' strain and stress
+// fields, never the global grid. Each iteration performs the local
+// convolutions (zero communication), ONE all-to-all of octree-compressed
+// patches for the accumulation step, and one small all-reduce for the
+// global residual and mean-strain pinning. The result is bit-compatible
+// with the serial SolveLowComm.
+func SolveLowCommDistributed(c *cluster.Cluster, m *Microstructure, E grid.SymTensor, opt LowCommOptions) (*LowCommResult, error) {
+	o := opt.Options.withDefaults()
+	boxes, err := grid.Decompose(m.Dim, opt.SubSize)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := grid.Partition(boxes, c.P)
+	if err != nil {
+		return nil, err
+	}
+	lambda0, mu0 := m.ReferenceMedium()
+	gamma := green.Gamma{Lambda0: lambda0, Mu0: mu0}
+	normE := E.Norm() * math.Sqrt(float64(m.Dim.Len()))
+	if normE == 0 {
+		return nil, fmt.Errorf("massif: applied strain must be nonzero")
+	}
+
+	// Shared result written by disjoint regions at the end (assembly is
+	// not counted as solver communication, like MPI-IO output).
+	out := &LowCommResult{}
+	out.Comm.SubDomains = len(boxes)
+	strain := grid.NewTensorField(m.Dim)
+	stress := grid.NewTensorField(m.Dim)
+	out.Result.Strain = strain
+	out.Result.Stress = stress
+	iterDone := make([]int, c.P)
+	converged := make([]bool, c.P)
+	bytesPerIter := make([]int, c.P)
+	samplesPerIter := make([]int, c.P)
+
+	err = c.Run(func(w *cluster.Worker) error {
+		owned := parts[w.ID]
+		// Per-box solver state.
+		type boxState struct {
+			box   grid.Box
+			eps   *grid.TensorField // k³ local strain
+			local *tensorLocal
+		}
+		states := make([]*boxState, len(owned))
+		kd := grid.Cube(opt.SubSize)
+		for i, b := range owned {
+			var tree *octree.Tree
+			var err error
+			if opt.FullRes {
+				tree, err = sample.Uniform{Rate: 1, CellSize: min(8, m.Dim.Nx)}.Tree(m.Dim)
+			} else {
+				far := opt.FarRate
+				if far == 0 {
+					far = 16
+				}
+				tree, err = sample.DefaultPolicy(b, far).Tree(m.Dim)
+			}
+			if err != nil {
+				return err
+			}
+			local, err := newTensorLocal(m.Dim, b, gamma, tree, opt)
+			if err != nil {
+				return err
+			}
+			eps := grid.NewTensorField(kd)
+			eps.Fill(E)
+			states[i] = &boxState{box: b, eps: eps, local: local}
+		}
+		sigma := make([]*grid.Field, grid.NumVoigt)
+		for v := range sigma {
+			sigma[v] = grid.NewField(kd)
+		}
+		deltas := make([]*grid.TensorField, len(owned))
+		for i := range deltas {
+			deltas[i] = grid.NewTensorField(kd)
+		}
+
+		for iter := 0; iter < o.MaxIter; iter++ {
+			// Local stress and local convolution for every owned box.
+			nsamp, nbytes := 0, 0
+			type resultSet struct{ comps []*sample.Compressed }
+			var results []resultSet
+			for _, st := range states {
+				// σ_d = C(x):ε_d voxelwise with the global phase map.
+				for z := 0; z < opt.SubSize; z++ {
+					for y := 0; y < opt.SubSize; y++ {
+						for x := 0; x < opt.SubSize; x++ {
+							s := m.StressAt(st.box.Lo[0]+x, st.box.Lo[1]+y, st.box.Lo[2]+z, st.eps.At(x, y, z))
+							i := kd.Index(x, y, z)
+							for v := 0; v < grid.NumVoigt; v++ {
+								sigma[v].Data[i] = s[v]
+							}
+						}
+					}
+				}
+				comps, ns, nb, err := st.local.run(sigma)
+				if err != nil {
+					return err
+				}
+				nsamp += ns
+				nbytes += nb
+				results = append(results, resultSet{comps: comps})
+			}
+			bytesPerIter[w.ID] = nbytes
+			samplesPerIter[w.ID] = nsamp
+
+			// One sparse all-to-all: ship to each peer only the patches
+			// overlapping that peer's sub-domains.
+			msgs := make([][]float64, c.P)
+			for q := 0; q < c.P; q++ {
+				perComp := make([][]sample.Patch, grid.NumVoigt)
+				for _, rs := range results {
+					for v, comp := range rs.comps {
+						for _, p := range comp.Patches(m.Dim.Bounds()) {
+							for _, qb := range parts[q] {
+								if p.Cell.Box.Overlaps(qb) {
+									perComp[v] = append(perComp[v], p)
+									break
+								}
+							}
+						}
+					}
+				}
+				msgs[q] = sample.EncodeComponentPatches(perComp)
+			}
+			recv, err := w.AllToAll(msgs)
+			if err != nil {
+				return err
+			}
+			// Accumulate Δε on owned boxes (Algorithm 2 line 6).
+			for i := range deltas {
+				for v := range deltas[i].Comp {
+					deltas[i].Comp[v].Zero()
+				}
+			}
+			for q := 0; q < c.P; q++ {
+				perComp, err := sample.DecodeComponentPatches(recv[q])
+				if err != nil {
+					return err
+				}
+				for v, ps := range perComp {
+					for _, p := range ps {
+						for i, st := range states {
+							if err := p.AddToSubField(deltas[i].Comp[v], st.box.Lo, 1); err != nil {
+								return err
+							}
+						}
+					}
+				}
+			}
+
+			// Global mean pinning + residual in one 12-value all-reduce.
+			partial := make([]float64, 2*grid.NumVoigt)
+			for i := range deltas {
+				for v := 0; v < grid.NumVoigt; v++ {
+					for _, d := range deltas[i].Comp[v].Data {
+						partial[v] += d
+						partial[grid.NumVoigt+v] += d * d
+					}
+				}
+			}
+			total := w.AllReduceSum(partial)
+			nTot := float64(m.Dim.Len())
+			delta2 := 0.0
+			var mean [grid.NumVoigt]float64
+			for v := 0; v < grid.NumVoigt; v++ {
+				mean[v] = total[v] / nTot
+				wgt := 1.0
+				if v >= grid.VYZ {
+					wgt = 2.0
+				}
+				// Σ(d−μ)² = Σd² − n·μ².
+				delta2 += wgt * (total[grid.NumVoigt+v] - nTot*mean[v]*mean[v])
+			}
+			// ε_d ← ε_d − (Δε − mean) (line 7).
+			for i, st := range states {
+				for v := 0; v < grid.NumVoigt; v++ {
+					ed := st.eps.Comp[v].Data
+					for j, d := range deltas[i].Comp[v].Data {
+						ed[j] -= d - mean[v]
+					}
+				}
+			}
+			r := math.Sqrt(math.Max(delta2, 0)) / normE
+			iterDone[w.ID] = iter + 1
+			if w.ID == 0 {
+				out.Residuals = append(out.Residuals, r)
+			}
+			if r < o.Tol {
+				converged[w.ID] = true
+				break
+			}
+		}
+
+		// Assemble the distributed strain into the shared result
+		// (disjoint regions per worker).
+		for _, st := range states {
+			for v := 0; v < grid.NumVoigt; v++ {
+				sub := &grid.Field{Dim: kd, Data: st.eps.Comp[v].Data}
+				if err := strain.Comp[v].InsertBox(st.box, sub); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Iterations = iterDone[0]
+	out.Converged = converged[0]
+	out.Comm.Iterations = out.Iterations
+	for wID := range bytesPerIter {
+		out.Comm.BytesPerIter += bytesPerIter[wID]
+		out.Comm.SamplesPerIter += samplesPerIter[wID]
+	}
+	out.Comm.DenseBytesPerIter = 8 * m.Dim.Len() * grid.NumVoigt * len(boxes)
+	if _, err := m.StressField(strain, stress); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := New("Demo", "N", "Value")
+	tb.Add(128, 3.14159)
+	tb.Add(2048, "x")
+	var b strings.Builder
+	tb.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Errorf("float formatting: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Title, header, rule, two rows.
+	if len(lines) != 5 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and rule equal length.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("rule misaligned:\n%s", out)
+	}
+}
+
+func TestTableAddCells(t *testing.T) {
+	tb := New("", "A")
+	tb.AddCells("preformatted")
+	var b strings.Builder
+	tb.Render(&b)
+	if !strings.Contains(b.String(), "preformatted") {
+		t.Error("AddCells row missing")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.00 KiB"},
+		{3 << 20, "3.00 MiB"},
+		{8 << 30, "8.00 GiB"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.in); got != c.want {
+			t.Errorf("Bytes(%d) = %q want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{2.5, "2.50 s"},
+		{0.025, "25.00 ms"},
+		{2.5e-5, "25.00 µs"},
+		{2.5e-8, "25.00 ns"},
+	}
+	for _, c := range cases {
+		if got := Seconds(c.in); got != c.want {
+			t.Errorf("Seconds(%g) = %q want %q", c.in, got, c.want)
+		}
+	}
+}

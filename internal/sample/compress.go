@@ -1,0 +1,197 @@
+package sample
+
+import (
+	"fmt"
+
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/octree"
+)
+
+// Compressed is a convolution result stored in the paper's compressed
+// form: octree metadata plus the flat sample array, instead of the dense
+// N³ grid. This is the object exchanged between workers in the
+// accumulation step.
+type Compressed struct {
+	Tree    *octree.Tree
+	Samples []float64
+}
+
+// NewCompressed allocates sample storage sized for the tree.
+func NewCompressed(t *octree.Tree) *Compressed {
+	return &Compressed{Tree: t, Samples: make([]float64, t.SampleCount())}
+}
+
+// Compress gathers the tree's sample lattice from a dense field. The
+// pipeline normally fills samples directly during the inverse transform;
+// Compress is the reference path used by tests and the baseline.
+func Compress(f *grid.Field, t *octree.Tree) (*Compressed, error) {
+	if f.Dim != t.Dim {
+		return nil, fmt.Errorf("sample: field dims %v != tree dims %v", f.Dim, t.Dim)
+	}
+	c := NewCompressed(t)
+	t.ForEachSample(func(cell, s, x, y, z int) {
+		c.Samples[s] = f.At(x, y, z)
+	})
+	return c, nil
+}
+
+// MemoryBytes returns the storage footprint: 8 bytes per sample plus the
+// octree metadata.
+func (c *Compressed) MemoryBytes() int {
+	return 8*len(c.Samples) + c.Tree.MetadataBytes()
+}
+
+// CompressionRatio returns dense bytes / compressed bytes.
+func (c *Compressed) CompressionRatio() float64 {
+	return float64(8*c.Tree.Dim.Len()) / float64(c.MemoryBytes())
+}
+
+// Reconstruct interpolates the compressed samples back to a dense field
+// using trilinear interpolation within each octree cell (rate-1 cells copy
+// their samples verbatim).
+func (c *Compressed) Reconstruct() (*grid.Field, error) {
+	out := grid.NewField(c.Tree.Dim)
+	if err := c.AddTo(out, 1); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AddTo accumulates scale × the reconstructed field into dst. This is the
+// paper's accumulation primitive: each worker adds the interpolated
+// contributions of every sub-domain's compressed result into its local
+// region (Algorithm 2 line 6).
+func (c *Compressed) AddTo(dst *grid.Field, scale float64) error {
+	if dst.Dim != c.Tree.Dim {
+		return fmt.Errorf("sample: dst dims %v != tree dims %v", dst.Dim, c.Tree.Dim)
+	}
+	return c.addRegion(dst, c.Tree.Dim.Bounds(), scale)
+}
+
+// AddRegion accumulates scale × the reconstruction restricted to region
+// (clipped to the grid) into dst. Workers reconstructing only their own
+// sub-domains use this to skip cells that do not intersect their region.
+func (c *Compressed) AddRegion(dst *grid.Field, region grid.Box, scale float64) error {
+	if dst.Dim != c.Tree.Dim {
+		return fmt.Errorf("sample: dst dims %v != tree dims %v", dst.Dim, c.Tree.Dim)
+	}
+	return c.addRegion(dst, region.Intersect(c.Tree.Dim.Bounds()), scale)
+}
+
+func (c *Compressed) addRegion(dst *grid.Field, region grid.Box, scale float64) error {
+	if len(c.Samples) != c.Tree.SampleCount() {
+		return fmt.Errorf("sample: %d samples stored, tree needs %d", len(c.Samples), c.Tree.SampleCount())
+	}
+	offsets := c.Tree.CellOffsets()
+	for ci, cell := range c.Tree.Cells {
+		clip := cell.Box.Intersect(region)
+		if clip.Empty() {
+			continue
+		}
+		p := Patch{Cell: cell, Samples: c.Samples[offsets[ci] : offsets[ci]+cell.SampleCount()]}
+		p.addClip(dst, clip, scale)
+	}
+	return nil
+}
+
+// Patch is one octree cell with its sample values — the unit of the sparse
+// exchange between workers: a worker ships to each peer only the patches
+// whose cells intersect that peer's output region.
+type Patch struct {
+	Cell    octree.Cell
+	Samples []float64
+}
+
+// AddToRegion accumulates scale × the patch's trilinear reconstruction,
+// restricted to region, into dst.
+func (p Patch) AddToRegion(dst *grid.Field, region grid.Box, scale float64) error {
+	if len(p.Samples) != p.Cell.SampleCount() {
+		return fmt.Errorf("sample: patch has %d samples, cell needs %d", len(p.Samples), p.Cell.SampleCount())
+	}
+	clip := p.Cell.Box.Intersect(region).Intersect(dst.Dim.Bounds())
+	if clip.Empty() {
+		return nil
+	}
+	p.addClip(dst, clip, scale)
+	return nil
+}
+
+// addClip trilinearly interpolates the cell's sample lattice over the
+// clipped region and accumulates into dst.
+func (p Patch) addClip(dst *grid.Field, clip grid.Box, scale float64) {
+	cell, s := p.Cell, p.Samples
+	r := cell.Rate
+	m := cell.LatticePoints()
+	if r == 1 {
+		// Full resolution: samples are the values themselves.
+		for z := clip.Lo[2]; z < clip.Hi[2]; z++ {
+			iz := z - cell.Box.Lo[2]
+			for y := clip.Lo[1]; y < clip.Hi[1]; y++ {
+				iy := y - cell.Box.Lo[1]
+				row := (iz*m + iy) * m
+				base := dst.Dim.Index(clip.Lo[0], y, z)
+				ix := clip.Lo[0] - cell.Box.Lo[0]
+				for x := clip.Lo[0]; x < clip.Hi[0]; x++ {
+					dst.Data[base] += scale * s[row+ix]
+					base++
+					ix++
+				}
+			}
+		}
+		return
+	}
+	inv := 1 / float64(r)
+	for z := clip.Lo[2]; z < clip.Hi[2]; z++ {
+		lz := z - cell.Box.Lo[2]
+		iz := lz / r
+		fz := float64(lz%r) * inv
+		for y := clip.Lo[1]; y < clip.Hi[1]; y++ {
+			ly := y - cell.Box.Lo[1]
+			iy := ly / r
+			fy := float64(ly%r) * inv
+			for x := clip.Lo[0]; x < clip.Hi[0]; x++ {
+				lx := x - cell.Box.Lo[0]
+				ix := lx / r
+				fx := float64(lx%r) * inv
+				// Corner indices into the (m×m×m) sample lattice; the
+				// endpoint plane is always present, so ix+1 ≤ m−1.
+				i000 := (iz*m+iy)*m + ix
+				i100 := i000 + 1
+				i010 := i000 + m
+				i110 := i010 + 1
+				i001 := i000 + m*m
+				i101 := i001 + 1
+				i011 := i001 + m
+				i111 := i011 + 1
+				v := (1-fz)*((1-fy)*((1-fx)*s[i000]+fx*s[i100])+
+					fy*((1-fx)*s[i010]+fx*s[i110])) +
+					fz*((1-fy)*((1-fx)*s[i001]+fx*s[i101])+
+						fy*((1-fx)*s[i011]+fx*s[i111]))
+				dst.Data[dst.Dim.Index(x, y, z)] += scale * v
+			}
+		}
+	}
+}
+
+// NearestReconstruct reconstructs using nearest-lattice-point values
+// instead of trilinear interpolation — the interpolation ablation
+// baseline.
+func (c *Compressed) NearestReconstruct() (*grid.Field, error) {
+	if len(c.Samples) != c.Tree.SampleCount() {
+		return nil, fmt.Errorf("sample: %d samples stored, tree needs %d", len(c.Samples), c.Tree.SampleCount())
+	}
+	out := grid.NewField(c.Tree.Dim)
+	offsets := c.Tree.CellOffsets()
+	for ci, cell := range c.Tree.Cells {
+		s := c.Samples[offsets[ci]:]
+		r := cell.Rate
+		m := cell.LatticePoints()
+		cell.Box.ForEach(func(x, y, z int) {
+			ix := (x - cell.Box.Lo[0] + r/2) / r
+			iy := (y - cell.Box.Lo[1] + r/2) / r
+			iz := (z - cell.Box.Lo[2] + r/2) / r
+			out.Set(x, y, z, s[(iz*m+iy)*m+ix])
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package sample
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"lowcomm3d/internal/octree"
+)
+
+// Binary serialization of compressed results, for checkpointing MASSIF
+// runs and for shipping sub-domain results through files or sockets. The
+// format mirrors the in-memory layout the paper describes: the 5-int
+// octree metadata followed by the flat sample array.
+//
+//	magic   uint32  "LC3D"
+//	version uint32  1
+//	n       uint32  grid size (cubic)
+//	cells   uint32  octree cell count
+//	samples uint64  sample count
+//	meta    [5·cells]int32
+//	data    [samples]float64
+
+const (
+	ioMagic     = 0x4c433344 // "LC3D"
+	ioVersion   = 1          // float64 samples
+	ioVersion32 = 2          // float32 samples (paper §4: "compressed further using lower precision")
+)
+
+// WriteTo serializes the compressed field at full (float64) precision. It
+// implements io.WriterTo.
+func (c *Compressed) WriteTo(w io.Writer) (int64, error) {
+	return c.writeVersion(w, ioVersion)
+}
+
+// WriteTo32 serializes with float32 samples — half the bytes at ~1e-7
+// relative precision, the "lower precision" variant the paper suggests for
+// further compression.
+func (c *Compressed) WriteTo32(w io.Writer) (int64, error) {
+	return c.writeVersion(w, ioVersion32)
+}
+
+func (c *Compressed) writeVersion(w io.Writer, version uint32) (int64, error) {
+	if len(c.Samples) != c.Tree.SampleCount() {
+		return 0, fmt.Errorf("sample: %d samples stored, tree needs %d", len(c.Samples), c.Tree.SampleCount())
+	}
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(v any) error {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+		n += int64(binary.Size(v))
+		return nil
+	}
+	header := []uint32{ioMagic, version, uint32(c.Tree.Dim.Nx), uint32(len(c.Tree.Cells))}
+	for _, h := range header {
+		if err := write(h); err != nil {
+			return n, err
+		}
+	}
+	if err := write(uint64(len(c.Samples))); err != nil {
+		return n, err
+	}
+	if err := write(c.Tree.EncodeMeta()); err != nil {
+		return n, err
+	}
+	if version == ioVersion32 {
+		s32 := make([]float32, len(c.Samples))
+		for i, v := range c.Samples {
+			s32[i] = float32(v)
+		}
+		if err := write(s32); err != nil {
+			return n, err
+		}
+	} else if err := write(c.Samples); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// ReadCompressed deserializes a compressed field written by WriteTo,
+// validating the octree structure before returning.
+func ReadCompressed(r io.Reader) (*Compressed, error) {
+	br := bufio.NewReader(r)
+	var header [4]uint32
+	for i := range header {
+		if err := binary.Read(br, binary.LittleEndian, &header[i]); err != nil {
+			return nil, fmt.Errorf("sample: reading header: %w", err)
+		}
+	}
+	if header[0] != ioMagic {
+		return nil, fmt.Errorf("sample: bad magic %#x", header[0])
+	}
+	if header[1] != ioVersion && header[1] != ioVersion32 {
+		return nil, fmt.Errorf("sample: unsupported version %d", header[1])
+	}
+	n := int(header[2])
+	cells := int(header[3])
+	if n <= 0 || n > 1<<20 || cells <= 0 || cells > 1<<28 {
+		return nil, fmt.Errorf("sample: implausible header n=%d cells=%d", n, cells)
+	}
+	var sampleCount uint64
+	if err := binary.Read(br, binary.LittleEndian, &sampleCount); err != nil {
+		return nil, fmt.Errorf("sample: reading sample count: %w", err)
+	}
+	if sampleCount > 1<<40 {
+		return nil, fmt.Errorf("sample: implausible sample count %d", sampleCount)
+	}
+	meta := make([]int32, octree.IntsPerCell*cells)
+	if err := binary.Read(br, binary.LittleEndian, meta); err != nil {
+		return nil, fmt.Errorf("sample: reading metadata: %w", err)
+	}
+	tree, err := octree.DecodeMeta(n, meta, int(sampleCount))
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, fmt.Errorf("sample: decoded tree invalid: %w", err)
+	}
+	if tree.SampleCount() != int(sampleCount) {
+		return nil, fmt.Errorf("sample: tree needs %d samples, file has %d", tree.SampleCount(), sampleCount)
+	}
+	samples := make([]float64, sampleCount)
+	if header[1] == ioVersion32 {
+		s32 := make([]float32, sampleCount)
+		if err := binary.Read(br, binary.LittleEndian, s32); err != nil {
+			return nil, fmt.Errorf("sample: reading samples: %w", err)
+		}
+		for i, v := range s32 {
+			samples[i] = float64(v)
+		}
+	} else if err := binary.Read(br, binary.LittleEndian, samples); err != nil {
+		return nil, fmt.Errorf("sample: reading samples: %w", err)
+	}
+	return &Compressed{Tree: tree, Samples: samples}, nil
+}

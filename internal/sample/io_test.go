@@ -1,0 +1,157 @@
+package sample
+
+import (
+	"bytes"
+	"testing"
+
+	"lowcomm3d/internal/grid"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := grid.Cube(32)
+	sub := grid.CubeAt(grid.Point{8, 8, 8}, 8)
+	tree, err := DefaultPolicy(sub, 8).Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smoothField(d)
+	c, err := Compress(f, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := c.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	back, err := ReadCompressed(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tree.Dim != c.Tree.Dim || len(back.Tree.Cells) != len(c.Tree.Cells) {
+		t.Fatalf("tree mismatch after round trip")
+	}
+	for i := range c.Tree.Cells {
+		if back.Tree.Cells[i] != c.Tree.Cells[i] {
+			t.Fatalf("cell %d mismatch", i)
+		}
+	}
+	for i := range c.Samples {
+		if back.Samples[i] != c.Samples[i] {
+			t.Fatalf("sample %d mismatch", i)
+		}
+	}
+	// The reconstruction is byte-identical.
+	r1, err := c.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := back.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Data {
+		if r1.Data[i] != r2.Data[i] {
+			t.Fatalf("reconstruction differs at %d", i)
+		}
+	}
+}
+
+func TestReadCompressedErrors(t *testing.T) {
+	// Empty stream.
+	if _, err := ReadCompressed(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail")
+	}
+	// Bad magic.
+	bad := make([]byte, 64)
+	if _, err := ReadCompressed(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Truncated valid stream.
+	d := grid.Cube(16)
+	tree, err := Uniform{Rate: 2, CellSize: 8}.Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compress(smoothField(d), tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{8, 20, len(full) / 2, len(full) - 8} {
+		if _, err := ReadCompressed(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d should fail", cut)
+		}
+	}
+	// Corrupted metadata (overlapping cells) must fail validation.
+	corrupt := append([]byte(nil), full...)
+	// Cell metadata starts after 4×uint32 + uint64 = 24 bytes; smash the
+	// second cell's corner onto the first.
+	for i := 24 + 20; i < 24+20+12 && i < len(corrupt); i++ {
+		corrupt[i] = 0
+	}
+	if _, err := ReadCompressed(bytes.NewReader(corrupt)); err == nil {
+		t.Error("corrupted metadata should fail")
+	}
+}
+
+func TestWriteToDetectsInconsistentSamples(t *testing.T) {
+	d := grid.Cube(8)
+	tree, err := Uniform{Rate: 2, CellSize: 4}.Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCompressed(tree)
+	c.Samples = c.Samples[:1]
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err == nil {
+		t.Error("inconsistent sample count should fail")
+	}
+}
+
+func TestWriteTo32HalvesBytes(t *testing.T) {
+	d := grid.Cube(32)
+	tree, err := Uniform{Rate: 2, CellSize: 8}.Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compress(smoothField(d), tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b64, b32 bytes.Buffer
+	if _, err := c.WriteTo(&b64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.WriteTo32(&b32); err != nil {
+		t.Fatal(err)
+	}
+	if b32.Len() >= b64.Len()*3/4 {
+		t.Errorf("float32 stream %d should be well under float64 %d", b32.Len(), b64.Len())
+	}
+	back, err := ReadCompressed(&b32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precision loss bounded by float32 epsilon.
+	for i := range c.Samples {
+		d := back.Samples[i] - c.Samples[i]
+		if d < 0 {
+			d = -d
+		}
+		scale := c.Samples[i]
+		if scale < 0 {
+			scale = -scale
+		}
+		if d > 1e-6*(scale+1) {
+			t.Fatalf("sample %d: float32 round trip error %g", i, d)
+		}
+	}
+}

@@ -1,0 +1,502 @@
+package sample
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"lowcomm3d/internal/grid"
+)
+
+func TestDefaultPolicyValidates(t *testing.T) {
+	p := DefaultPolicy(grid.CubeAt(grid.Point{8, 8, 8}, 16), 16)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyValidateErrors(t *testing.T) {
+	sub := grid.CubeAt(grid.Point{0, 0, 0}, 8)
+	bad := []Policy{
+		{Sub: sub, NearRate: 3, MidRate: 8, FarRate: 16},
+		{Sub: sub, NearRate: 2, MidRate: 0, FarRate: 16},
+		{Sub: sub, NearRate: 2, MidRate: 8, FarRate: -16},
+		{Sub: sub, NearRate: 2, MidRate: 8, FarRate: 16, Edgeband: 2, EdgeRate: 5},
+		{Sub: grid.Box{}, NearRate: 2, MidRate: 8, FarRate: 16},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("policy %d should fail validation", i)
+		}
+	}
+}
+
+func TestRateAtRegions(t *testing.T) {
+	// 64³ grid, 16³ sub-domain at (16,16,16): k=16, thresholds k/2=8, 4k=64.
+	d := grid.Cube(64)
+	sub := grid.CubeAt(grid.Point{16, 16, 16}, 16)
+	p := Policy{Sub: sub, NearRate: 2, MidRate: 8, FarRate: 32}
+	cases := []struct {
+		x, y, z, want int
+	}{
+		{20, 20, 20, 1}, // inside sub-domain
+		{16, 16, 16, 1}, // sub corner
+		{33, 20, 20, 2}, // distance 2 ≤ 8 → near
+		{39, 20, 20, 2}, // distance 8 → near (boundary inclusive)
+		{41, 20, 20, 8}, // distance 10 → mid
+		{8, 20, 20, 2},  // below in x, distance 8 → near
+		{63, 63, 63, 8}, // distance 32 < 64 → mid
+	}
+	for _, c := range cases {
+		if got := p.RateAt(d, c.x, c.y, c.z); got != c.want {
+			t.Errorf("RateAt(%d,%d,%d) = %d want %d", c.x, c.y, c.z, got, c.want)
+		}
+	}
+}
+
+func TestRateAtFarRegion(t *testing.T) {
+	// Tiny sub-domain so the far region exists: k=4, 4k=16.
+	d := grid.Cube(64)
+	p := Policy{Sub: grid.CubeAt(grid.Point{0, 0, 0}, 4), NearRate: 2, MidRate: 8, FarRate: 32}
+	if got := p.RateAt(d, 40, 40, 40); got != 32 {
+		t.Errorf("far rate = %d want 32", got)
+	}
+}
+
+func TestRateAtEdgeBand(t *testing.T) {
+	d := grid.Cube(64)
+	p := Policy{
+		Sub:      grid.CubeAt(grid.Point{24, 24, 24}, 8),
+		NearRate: 2, MidRate: 8, FarRate: 32,
+		Edgeband: 4, EdgeRate: 2,
+	}
+	// (1,32,32) is distance 23 ≥ 4k=32? k=8, 4k=32; dist from sub in x:
+	// 24-1=23 < 32 → mid rate 8, but edge distance is 1 < 4 → edge rate 2.
+	if got := p.RateAt(d, 1, 32, 32); got != 2 {
+		t.Errorf("edge rate = %d want 2", got)
+	}
+	// Interior points keep their base rate: (32,32,40) is Chebyshev
+	// distance 9 from the sub-domain (> k/2 = 4) and far from any edge.
+	if got := p.RateAt(d, 32, 32, 40); got != 8 {
+		t.Errorf("mid rate = %d want 8", got)
+	}
+}
+
+func TestPolicyTreeConsistentWithPointwiseRates(t *testing.T) {
+	d := grid.Cube(32)
+	sub := grid.CubeAt(grid.Point{8, 8, 8}, 8)
+	p := DefaultPolicy(sub, 16)
+	tree, err := p.Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range tree.Cells {
+		size := c.Box.Hi[0] - c.Box.Lo[0]
+		// Cells at or above MinCell may mix pointwise rates; the builder
+		// must then adopt the finest rate present (conservative), clamped
+		// to the cell size.
+		finest := 1 << 30
+		c.Box.ForEach(func(x, y, z int) {
+			if r := p.RateAt(d, x, y, z); r < finest {
+				finest = r
+			}
+		})
+		if finest > size {
+			finest = size // Build clamps rates to the cell size
+		}
+		if c.Rate != finest {
+			t.Fatalf("cell %v rate %d but finest pointwise rate is %d",
+				c.Box, c.Rate, finest)
+		}
+	}
+}
+
+func TestPolicyTreeSubdomainFullResolution(t *testing.T) {
+	d := grid.Cube(64)
+	sub := grid.CubeAt(grid.Point{16, 16, 16}, 16)
+	p := DefaultPolicy(sub, 32)
+	tree, err := p.Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.ForEach(func(x, y, z int) {
+		ci := tree.FindCell(x, y, z)
+		if ci < 0 || tree.Cells[ci].Rate != 1 {
+			t.Fatalf("sub-domain point (%d,%d,%d) not at full resolution", x, y, z)
+		}
+	})
+}
+
+func TestPolicyTreeCompresses(t *testing.T) {
+	// The whole point: far fewer samples than grid points (paper Table 1).
+	d := grid.Cube(128)
+	sub := grid.CubeAt(grid.Point{0, 0, 0}, 32)
+	p := DefaultPolicy(sub, 16)
+	tree, err := p.Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := tree.SampleCount()
+	if ratio := float64(d.Len()) / float64(samples); ratio < 4 {
+		t.Errorf("compression ratio %.2f too low (samples %d of %d)", ratio, samples, d.Len())
+	}
+}
+
+func smoothField(d grid.Dim3) *grid.Field {
+	f := grid.NewField(d)
+	for z := 0; z < d.Nz; z++ {
+		for y := 0; y < d.Ny; y++ {
+			for x := 0; x < d.Nx; x++ {
+				f.Set(x, y, z, math.Sin(2*math.Pi*float64(x)/float64(d.Nx))*
+					math.Cos(2*math.Pi*float64(y)/float64(d.Ny))+
+					0.5*math.Cos(2*math.Pi*float64(z)/float64(d.Nz)))
+			}
+		}
+	}
+	return f
+}
+
+func TestCompressReconstructExactAtRateOne(t *testing.T) {
+	d := grid.Cube(16)
+	p := Uniform{Rate: 1, CellSize: 8}
+	tree, err := p.Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smoothField(d)
+	c, err := Compress(f, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := grid.RelL2(back, f); r > 1e-14 {
+		t.Errorf("rate-1 reconstruction error %g", r)
+	}
+}
+
+func TestReconstructSmoothFieldAccurate(t *testing.T) {
+	d := grid.Cube(32)
+	// Rate 2 on a period-32 sine: ~8 linear segments per half period keep
+	// the L2 error at the percent level.
+	tree, err := Uniform{Rate: 2, CellSize: 8}.Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smoothField(d)
+	c, err := Compress(f, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := grid.RelL2(back, f)
+	if r > 0.05 {
+		t.Errorf("smooth-field trilinear error %g > 5%%", r)
+	}
+}
+
+func TestTrilinearBeatsNearest(t *testing.T) {
+	d := grid.Cube(32)
+	tree, err := Uniform{Rate: 4, CellSize: 8}.Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smoothField(d)
+	c, err := Compress(f, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri, err := c.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, err := c.NearestReconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := grid.RelL2(tri, f)
+	rn, _ := grid.RelL2(near, f)
+	if rt >= rn {
+		t.Errorf("trilinear error %g should beat nearest %g on a smooth field", rt, rn)
+	}
+}
+
+func TestAddRegionMatchesFullOnRegion(t *testing.T) {
+	d := grid.Cube(32)
+	sub := grid.CubeAt(grid.Point{8, 8, 8}, 8)
+	tree, err := DefaultPolicy(sub, 16).Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smoothField(d)
+	c, err := Compress(f, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := c.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := grid.CubeAt(grid.Point{4, 4, 4}, 12)
+	partial := grid.NewField(d)
+	if err := c.AddRegion(partial, region, 1); err != nil {
+		t.Fatal(err)
+	}
+	region.ForEach(func(x, y, z int) {
+		if math.Abs(partial.At(x, y, z)-full.At(x, y, z)) > 1e-13 {
+			t.Fatalf("region value mismatch at (%d,%d,%d)", x, y, z)
+		}
+	})
+	// Outside region must be untouched. Check a few exterior corners.
+	for _, pnt := range []grid.Point{{0, 0, 0}, {31, 31, 31}, {20, 0, 0}} {
+		if partial.At(pnt[0], pnt[1], pnt[2]) != 0 {
+			t.Fatalf("leak outside region at %v", pnt)
+		}
+	}
+}
+
+func TestAddToScaleLinearity(t *testing.T) {
+	d := grid.Cube(16)
+	tree, err := Uniform{Rate: 2, CellSize: 4}.Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smoothField(d)
+	c, err := Compress(f, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, err := c.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := grid.NewField(d)
+	if err := c.AddTo(acc, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	for i := range acc.Data {
+		if math.Abs(acc.Data[i]-2.5*once.Data[i]) > 1e-12 {
+			t.Fatalf("scale linearity violated at %d", i)
+		}
+	}
+}
+
+func TestCompressionBookkeeping(t *testing.T) {
+	d := grid.Cube(64)
+	sub := grid.CubeAt(grid.Point{16, 16, 16}, 16)
+	tree, err := DefaultPolicy(sub, 16).Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCompressed(tree)
+	if len(c.Samples) != tree.SampleCount() {
+		t.Fatalf("sample storage %d != %d", len(c.Samples), tree.SampleCount())
+	}
+	if got, want := c.MemoryBytes(), 8*len(c.Samples)+tree.MetadataBytes(); got != want {
+		t.Fatalf("memory bytes %d want %d", got, want)
+	}
+	if c.CompressionRatio() <= 1 {
+		t.Errorf("compression ratio %.2f should exceed 1", c.CompressionRatio())
+	}
+}
+
+func TestCompressDimMismatch(t *testing.T) {
+	tree, err := Uniform{Rate: 2}.Tree(grid.Cube(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compress(grid.NewField(grid.Cube(8)), tree); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	c := NewCompressed(tree)
+	if err := c.AddTo(grid.NewField(grid.Cube(8)), 1); err == nil {
+		t.Error("AddTo dim mismatch should fail")
+	}
+	c.Samples = c.Samples[:1]
+	if _, err := c.Reconstruct(); err == nil {
+		t.Error("truncated samples should fail")
+	}
+}
+
+func TestUniformTreeErrors(t *testing.T) {
+	if _, err := (Uniform{Rate: 3}).Tree(grid.Cube(8)); err == nil {
+		t.Error("non power-of-two rate should fail")
+	}
+	if _, err := (Uniform{Rate: 0}).Tree(grid.Cube(8)); err == nil {
+		t.Error("zero rate should fail")
+	}
+}
+
+func TestDecayingFieldAdaptiveAccuracy(t *testing.T) {
+	// A convolution-like result: dense energy in the sub-domain, rapidly
+	// decaying tail outside — the adaptive policy must reconstruct it with
+	// small relative error (paper §5.3: ≤ 3%).
+	d := grid.Cube(64)
+	sub := grid.CubeAt(grid.Point{24, 24, 24}, 16)
+	center := grid.Point{32, 32, 32}
+	f := grid.NewField(d)
+	for z := 0; z < d.Nz; z++ {
+		for y := 0; y < d.Ny; y++ {
+			for x := 0; x < d.Nx; x++ {
+				dx, dy, dz := float64(x-center[0]), float64(y-center[1]), float64(z-center[2])
+				r2 := dx*dx + dy*dy + dz*dz
+				f.Set(x, y, z, math.Exp(-r2/50))
+			}
+		}
+	}
+	tree, err := DefaultPolicy(sub, 16).Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compress(f, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := c.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := grid.RelL2(back, f)
+	if r > 0.03 {
+		t.Errorf("decaying-field reconstruction error %g > 3%%", r)
+	}
+}
+
+func TestPatchCodecQuick(t *testing.T) {
+	// Property: encode/decode round-trips arbitrary (valid) patch sets.
+	d := grid.Cube(32)
+	sub := grid.CubeAt(grid.Point{8, 8, 8}, 8)
+	tree, err := DefaultPolicy(sub, 8).Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smoothField(d)
+	c, err := Compress(f, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(lox, loy, loz, size uint8) bool {
+		region := grid.BoxAt(grid.Point{int(lox) % 32, int(loy) % 32, int(loz) % 32},
+			1+int(size)%16, 1+int(size)%16, 1+int(size)%16)
+		ps := c.Patches(region)
+		msg := EncodePatches(ps)
+		back, err := DecodePatches(msg)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(ps) {
+			return false
+		}
+		for i := range ps {
+			if back[i].Cell != ps[i].Cell || len(back[i].Samples) != len(ps[i].Samples) {
+				return false
+			}
+			for j := range ps[i].Samples {
+				if back[i].Samples[j] != ps[i].Samples[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodePatchesMalformed(t *testing.T) {
+	cases := [][]float64{
+		nil,
+		{-1},
+		{1, 0, 0, 0, 2, 1},                   // truncated header
+		{1, 0, 0, 0, 2, 1, 5, 1, 2, 3, 4, 5}, // count 5 != cell sample count
+		{1, 0, 0, 0, -2, 1, 8},               // negative size
+		{2, 0, 0, 0, 1, 1, 8, 1, 2, 3, 4, 5, 6, 7, 8}, // second patch missing
+	}
+	for i, msg := range cases {
+		if _, err := DecodePatches(msg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestComponentPatchCodecRoundTrip(t *testing.T) {
+	d := grid.Cube(16)
+	tree, err := Uniform{Rate: 2, CellSize: 4}.Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smoothField(d)
+	c, err := Compress(f, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := [][]Patch{
+		c.Patches(grid.CubeAt(grid.Point{0, 0, 0}, 8)),
+		nil, // empty component must survive
+		c.Patches(grid.CubeAt(grid.Point{8, 8, 8}, 8)),
+	}
+	msg := EncodeComponentPatches(comps)
+	back, err := DecodeComponentPatches(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 {
+		t.Fatalf("components = %d", len(back))
+	}
+	for ci := range comps {
+		if len(back[ci]) != len(comps[ci]) {
+			t.Fatalf("component %d: %d patches want %d", ci, len(back[ci]), len(comps[ci]))
+		}
+	}
+	if _, err := DecodeComponentPatches(nil); err == nil {
+		t.Error("empty message should fail")
+	}
+	if _, err := DecodeComponentPatches([]float64{2, 5}); err == nil {
+		t.Error("truncated component should fail")
+	}
+}
+
+func TestAddToSubFieldMatchesGlobal(t *testing.T) {
+	// Applying a patch to a local sub-field view must equal the global
+	// AddToRegion restricted to that region.
+	d := grid.Cube(32)
+	sub := grid.CubeAt(grid.Point{8, 8, 8}, 8)
+	tree, err := DefaultPolicy(sub, 8).Tree(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := smoothField(d)
+	c, err := Compress(f, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := grid.Point{4, 12, 20}
+	kd := grid.Cube(8)
+	region := grid.BoxAt(origin, 8, 8, 8)
+	globalDst := grid.NewField(d)
+	localDst := grid.NewField(kd)
+	for _, p := range c.Patches(region) {
+		if err := p.AddToRegion(globalDst, region, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.AddToSubField(localDst, origin, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	region.ForEach(func(x, y, z int) {
+		g := globalDst.At(x, y, z)
+		l := localDst.At(x-origin[0], y-origin[1], z-origin[2])
+		if g != l {
+			t.Fatalf("mismatch at (%d,%d,%d): global %g local %g", x, y, z, g, l)
+		}
+	})
+}
