@@ -1,0 +1,18 @@
+.PHONY: verify build test bench
+
+# The gate for every change: static checks, full build, and the complete
+# test suite under the race detector (the fault-tolerant transport is
+# heavily concurrent; -race is not optional for it).
+verify:
+	go vet ./...
+	go build ./...
+	go test -race ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem .

@@ -80,8 +80,13 @@ func TestClusterSendRecv(t *testing.T) {
 	err = c.Run(func(w *Worker) error {
 		next := (w.ID + 1) % 3
 		prev := (w.ID + 2) % 3
-		w.Send(next, []float64{float64(w.ID)})
-		got := w.Recv(prev)
+		if err := w.Send(next, []float64{float64(w.ID)}); err != nil {
+			return err
+		}
+		got, err := w.Recv(prev)
+		if err != nil {
+			return err
+		}
 		if int(got[0]) != prev {
 			t.Errorf("worker %d received %v from %d", w.ID, got, prev)
 		}
@@ -152,7 +157,10 @@ func TestAllToAllWrongBufferCount(t *testing.T) {
 func TestBroadcast(t *testing.T) {
 	c, _ := New(4, DefaultParams())
 	err := c.Run(func(w *Worker) error {
-		got := w.Broadcast(2, []float64{42})
+		got, err := w.Broadcast(2, []float64{42})
+		if err != nil {
+			return err
+		}
 		if got[0] != 42 {
 			t.Errorf("worker %d: broadcast got %v", w.ID, got)
 		}
@@ -325,7 +333,10 @@ func TestAllReduceSum(t *testing.T) {
 		}
 		err = c.Run(func(w *Worker) error {
 			local := []float64{float64(w.ID), 1, float64(2 * w.ID)}
-			total := w.AllReduceSum(local)
+			total, err := w.AllReduceSum(local)
+			if err != nil {
+				return err
+			}
 			wantA := float64(p*(p-1)) / 2
 			if total[0] != wantA || total[1] != float64(p) || total[2] != 2*wantA {
 				t.Errorf("P=%d worker %d: total %v", p, w.ID, total)

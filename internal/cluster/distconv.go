@@ -1,7 +1,11 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
+	"math"
+	"sort"
+	"sync"
 
 	"lowcomm3d/internal/conv"
 	"lowcomm3d/internal/fft"
@@ -171,9 +175,53 @@ func (w *Worker) TransposeZY(in []complex128, n, per int, back bool) ([]complex1
 }
 
 // LowCommResult is the outcome of the proposed distributed convolution.
+// On a faulty fabric the exchange degrades instead of failing: Missing
+// lists workers declared dead during the sparse exchange, MissingBoxes
+// their sub-domains (whose contributions are absent from the
+// accumulation), LostRegions the output z-slabs a dead worker owned and
+// therefore never assembled, and Bound carries the missing-mass widening
+// of the Taylor error bound covering the omitted contributions.
 type LowCommResult struct {
 	Field       *grid.Field
 	SampleBytes int64 // compressed bytes that crossed the fabric
+	Missing     []int
+	MissingBoxes []grid.Box
+	LostRegions []grid.Box
+	Bound       sample.ErrorBound
+	Degraded    bool
+}
+
+// MissingMassBound bounds the contribution omitted when the sub-domains in
+// boxes never reach the accumulation: for circular convolution,
+// ‖f·1_B ⊛ g‖₂ ≤ max|ĝ|·‖f·1_B‖₂ and ‖f·1_B ⊛ g‖_∞ ≤ ‖f·1_B‖₂·‖g‖₂
+// (Young/Cauchy–Schwarz through Parseval). L2 is reported as an RMS over
+// the grid, commensurate with sample.ErrorBound.L2.
+func MissingMassBound(f *grid.Field, kernel green.Kernel, boxes []grid.Box) sample.MissingMass {
+	if len(boxes) == 0 {
+		return sample.MissingMass{}
+	}
+	d := f.Dim
+	maxHat, sumHat2 := 0.0, 0.0
+	for z := 0; z < d.Nz; z++ {
+		for y := 0; y < d.Ny; y++ {
+			for x := 0; x < d.Nx; x++ {
+				h := kernel.Hat(d, x, y, z)
+				if h < 0 {
+					h = -h
+				}
+				if h > maxHat {
+					maxHat = h
+				}
+				sumHat2 += h * h
+			}
+		}
+	}
+	norm := sample.BoxRestrictedL2(f, boxes)
+	n3 := float64(d.Len())
+	return sample.MissingMass{
+		L2:   maxHat * norm / math.Sqrt(n3),
+		LInf: norm * math.Sqrt(sumHat2/n3),
+	}
 }
 
 // LowCommConvolve runs the proposed method of Fig. 1b on P simulated
@@ -182,6 +230,12 @@ type LowCommResult struct {
 // sampling — zero communication), then a single all-to-all ships to each
 // peer only the patches intersecting that peer's output z-slab; each
 // worker accumulates its region by interpolation.
+//
+// On a fault-injecting transport the single exchange is survivable:
+// transient drops, delays, duplicates, and corruption heal through the
+// deadline/retry layer; a worker dead after retries are exhausted degrades
+// the result (its contributions are omitted and the omission is folded
+// into the returned Taylor bound) instead of deadlocking the exchange.
 func LowCommConvolve(c *Cluster, f *grid.Field, kernel green.Kernel, subSize, farRate int, cfg conv.Config) (*LowCommResult, error) {
 	d := f.Dim
 	n := d.Nx
@@ -206,8 +260,10 @@ func LowCommConvolve(c *Cluster, f *grid.Field, kernel green.Kernel, subSize, fa
 	}
 
 	out := grid.NewField(d)
+	var missingMu sync.Mutex
+	missingSet := map[int]bool{}
 	bytesBefore, _, _, _ := c.Stats.Snapshot()
-	err = c.Run(func(w *Worker) error {
+	workerFn := func(w *Worker) error {
 		// Local convolutions — no communication at all (Fig. 1b: "the
 		// FFT-based convolution computation is local to the workers till
 		// the last step").
@@ -241,13 +297,24 @@ func LowCommConvolve(c *Cluster, f *grid.Field, kernel green.Kernel, subSize, fa
 			}
 			msgs[q] = sample.EncodePatches(patches)
 		}
-		recv, err := w.AllToAll(msgs)
+		recv, missing, err := w.AllToAllFT(msgs)
 		if err != nil {
 			return err
 		}
-		// Accumulate the owned region (Algorithm 2 line 6).
+		if len(missing) > 0 {
+			missingMu.Lock()
+			for _, q := range missing {
+				missingSet[q] = true
+			}
+			missingMu.Unlock()
+		}
+		// Accumulate the owned region (Algorithm 2 line 6); dead peers'
+		// contributions are absent and covered by the missing-mass bound.
 		mine := region(w.ID)
 		for q := 0; q < p; q++ {
+			if recv[q] == nil {
+				continue
+			}
 			patches, err := sample.DecodePatches(recv[q])
 			if err != nil {
 				return err
@@ -259,10 +326,39 @@ func LowCommConvolve(c *Cluster, f *grid.Field, kernel green.Kernel, subSize, fa
 			}
 		}
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
+	errs := c.RunAll(workerFn)
+	for rank, e := range errs {
+		if e == nil {
+			continue
+		}
+		var ce *CrashError
+		var fe *FaultError
+		if errors.As(e, &ce) || errors.As(e, &fe) {
+			// The rank died (injected crash) or could not complete its own
+			// receives (its peers were all declared dead from its side) —
+			// degrade: drop its contributions, surrender its output slab.
+			missingMu.Lock()
+			missingSet[rank] = true
+			missingMu.Unlock()
+			continue
+		}
+		return nil, e
+	}
+	res := &LowCommResult{Field: out}
 	bytesAfter, _, _, _ := c.Stats.Snapshot()
-	return &LowCommResult{Field: out, SampleBytes: bytesAfter - bytesBefore}, nil
+	res.SampleBytes = bytesAfter - bytesBefore
+	if len(missingSet) > 0 {
+		res.Degraded = true
+		for q := range missingSet {
+			res.Missing = append(res.Missing, q)
+		}
+		sort.Ints(res.Missing)
+		for _, q := range res.Missing {
+			res.MissingBoxes = append(res.MissingBoxes, parts[q]...)
+			res.LostRegions = append(res.LostRegions, region(q))
+		}
+		res.Bound.Missing = MissingMassBound(f, kernel, res.MissingBoxes)
+	}
+	return res, nil
 }

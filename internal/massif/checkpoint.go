@@ -1,0 +1,54 @@
+package massif
+
+import "sync"
+
+// strainCheckpoint is the lightweight per-iteration checkpoint behind the
+// fixed-point loop's crash recovery: at the start of every iteration each
+// worker deposits a deep copy of the strain of its owned sub-domains
+// (boxes × Voigt components × k³ values — far smaller than the global
+// grid). Survivors restore from it to redo an iteration whose sparse
+// exchange a peer died inside of, and a dead worker's sub-domains are
+// assembled into the final result from its last deposit (strain frozen at
+// the crash iteration) instead of being lost entirely.
+type strainCheckpoint struct {
+	mu      sync.Mutex
+	entries map[int]*ckptEntry
+}
+
+type ckptEntry struct {
+	iter int
+	eps  [][][]float64 // box → Voigt component → sample data
+}
+
+func newStrainCheckpoint() *strainCheckpoint {
+	return &strainCheckpoint{entries: make(map[int]*ckptEntry)}
+}
+
+// save deposits worker's strain snapshot for iter, replacing any earlier
+// deposit. eps must already be a deep copy owned by the checkpoint.
+func (s *strainCheckpoint) save(worker, iter int, eps [][][]float64) {
+	s.mu.Lock()
+	s.entries[worker] = &ckptEntry{iter: iter, eps: eps}
+	s.mu.Unlock()
+}
+
+// load returns a deep copy of worker's last deposit, so restoring cannot
+// alias the stored snapshot across repeated restarts.
+func (s *strainCheckpoint) load(worker int) (eps [][][]float64, iter int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[worker]
+	if !ok {
+		return nil, 0, false
+	}
+	out := make([][][]float64, len(e.eps))
+	for i, box := range e.eps {
+		out[i] = make([][]float64, len(box))
+		for v, data := range box {
+			cp := make([]float64, len(data))
+			copy(cp, data)
+			out[i][v] = cp
+		}
+	}
+	return out, e.iter, true
+}

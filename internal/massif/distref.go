@@ -168,7 +168,10 @@ func SolveReferenceDistributed(c *cluster.Cluster, m *Microstructure, E grid.Sym
 					local += wgt * d * d
 				}
 			}
-			total := w.AllReduceSum([]float64{local})
+			total, err := w.AllReduceSum([]float64{local})
+			if err != nil {
+				return err
+			}
 			r := math.Sqrt(total[0]) / normE
 			iterDone[w.ID] = iter + 1
 			if w.ID == 0 {

@@ -1,8 +1,10 @@
 package massif
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"lowcomm3d/internal/cluster"
 	"lowcomm3d/internal/green"
@@ -19,6 +21,17 @@ import (
 // patches for the accumulation step, and one small all-reduce for the
 // global residual and mean-strain pinning. The result is bit-compatible
 // with the serial SolveLowComm.
+//
+// On a faulty fabric the solve degrades instead of aborting: transient
+// faults heal in the transport layer; a worker declared dead mid-solve
+// triggers a checkpoint restart of the affected iteration on the
+// survivors (the all-reduce broadcast doubles as the failure-agreement
+// round, so every survivor redoes the same iteration with the same dead
+// set), the fixed point continues over the live sub-domains with the mean
+// pinned over live voxels, and the dead rank's sub-domains enter the final
+// assembly frozen at their last checkpointed strain. The outcome is
+// recorded in the result's Fault report. A dead root (rank 0) is not
+// survivable — the reduction tree has no other trunk.
 func SolveLowCommDistributed(c *cluster.Cluster, m *Microstructure, E grid.SymTensor, opt LowCommOptions) (*LowCommResult, error) {
 	o := opt.Options.withDefaults()
 	boxes, err := grid.Decompose(m.Dim, opt.SubSize)
@@ -48,8 +61,15 @@ func SolveLowCommDistributed(c *cluster.Cluster, m *Microstructure, E grid.SymTe
 	converged := make([]bool, c.P)
 	bytesPerIter := make([]int, c.P)
 	samplesPerIter := make([]int, c.P)
+	restartsPer := make([]int, c.P)
+	kd := grid.Cube(opt.SubSize)
+	ckpt := newStrainCheckpoint()
+	deadAtStart := make([]bool, c.P)
+	for _, q := range c.DeadWorkers() {
+		deadAtStart[q] = true
+	}
 
-	err = c.Run(func(w *cluster.Worker) error {
+	workerFn := func(w *cluster.Worker) error {
 		owned := parts[w.ID]
 		// Per-box solver state.
 		type boxState struct {
@@ -58,7 +78,6 @@ func SolveLowCommDistributed(c *cluster.Cluster, m *Microstructure, E grid.SymTe
 			local *tensorLocal
 		}
 		states := make([]*boxState, len(owned))
-		kd := grid.Cube(opt.SubSize)
 		for i, b := range owned {
 			var tree *octree.Tree
 			var err error
@@ -91,92 +110,192 @@ func SolveLowCommDistributed(c *cluster.Cluster, m *Microstructure, E grid.SymTe
 			deltas[i] = grid.NewTensorField(kd)
 		}
 
+		// Fault-tolerance state: the lockstep-consistent dead mask (agreed
+		// through the all-reduce broadcast each iteration, so every
+		// survivor takes the same restart decisions) plus deep-copy
+		// snapshot/restore of the owned strain for checkpoint/restart.
+		knownDead := make([]bool, c.P)
+		copy(knownDead, deadAtStart)
+		// frozen[q] is the last payload delivered by peer q. When q dies,
+		// its contribution is not omitted — omitting a box's stress
+		// convolution perturbs the fixed-point operator by O(‖E‖) every
+		// iteration and destabilizes the solve — but frozen: survivors keep
+		// accumulating q's last delivered patches, the constant source term
+		// matching the frozen strain its sub-domains are assembled with.
+		frozen := make([][]float64, c.P)
+		snapshot := func() [][][]float64 {
+			snap := make([][][]float64, len(states))
+			for i, st := range states {
+				snap[i] = make([][]float64, grid.NumVoigt)
+				for v := 0; v < grid.NumVoigt; v++ {
+					cp := make([]float64, len(st.eps.Comp[v].Data))
+					copy(cp, st.eps.Comp[v].Data)
+					snap[i][v] = cp
+				}
+			}
+			return snap
+		}
+		restore := func() error {
+			snap, _, ok := ckpt.load(w.ID)
+			if !ok {
+				return fmt.Errorf("massif: worker %d has no checkpoint to restart from", w.ID)
+			}
+			for i, st := range states {
+				for v := 0; v < grid.NumVoigt; v++ {
+					copy(st.eps.Comp[v].Data, snap[i][v])
+				}
+			}
+			return nil
+		}
+		liveVoxels := func() float64 {
+			nb := 0
+			for q := 0; q < c.P; q++ {
+				if !knownDead[q] {
+					nb += len(parts[q])
+				}
+			}
+			return float64(nb * kd.Len())
+		}
+
 		for iter := 0; iter < o.MaxIter; iter++ {
-			// Local stress and local convolution for every owned box.
-			nsamp, nbytes := 0, 0
-			type resultSet struct{ comps []*sample.Compressed }
-			var results []resultSet
-			for _, st := range states {
-				// σ_d = C(x):ε_d voxelwise with the global phase map.
-				for z := 0; z < opt.SubSize; z++ {
-					for y := 0; y < opt.SubSize; y++ {
-						for x := 0; x < opt.SubSize; x++ {
-							s := m.StressAt(st.box.Lo[0]+x, st.box.Lo[1]+y, st.box.Lo[2]+z, st.eps.At(x, y, z))
-							i := kd.Index(x, y, z)
-							for v := 0; v < grid.NumVoigt; v++ {
-								sigma[v].Data[i] = s[v]
+			ckpt.save(w.ID, iter, snapshot())
+			var total []float64
+		redo:
+			for {
+				// Local stress and local convolution for every owned box.
+				nsamp, nbytes := 0, 0
+				type resultSet struct{ comps []*sample.Compressed }
+				var results []resultSet
+				for _, st := range states {
+					// σ_d = C(x):ε_d voxelwise with the global phase map.
+					for z := 0; z < opt.SubSize; z++ {
+						for y := 0; y < opt.SubSize; y++ {
+							for x := 0; x < opt.SubSize; x++ {
+								s := m.StressAt(st.box.Lo[0]+x, st.box.Lo[1]+y, st.box.Lo[2]+z, st.eps.At(x, y, z))
+								i := kd.Index(x, y, z)
+								for v := 0; v < grid.NumVoigt; v++ {
+									sigma[v].Data[i] = s[v]
+								}
 							}
 						}
 					}
+					comps, ns, nb, err := st.local.run(sigma)
+					if err != nil {
+						return err
+					}
+					nsamp += ns
+					nbytes += nb
+					results = append(results, resultSet{comps: comps})
 				}
-				comps, ns, nb, err := st.local.run(sigma)
-				if err != nil {
-					return err
-				}
-				nsamp += ns
-				nbytes += nb
-				results = append(results, resultSet{comps: comps})
-			}
-			bytesPerIter[w.ID] = nbytes
-			samplesPerIter[w.ID] = nsamp
+				bytesPerIter[w.ID] = nbytes
+				samplesPerIter[w.ID] = nsamp
 
-			// One sparse all-to-all: ship to each peer only the patches
-			// overlapping that peer's sub-domains.
-			msgs := make([][]float64, c.P)
-			for q := 0; q < c.P; q++ {
-				perComp := make([][]sample.Patch, grid.NumVoigt)
-				for _, rs := range results {
-					for v, comp := range rs.comps {
-						for _, p := range comp.Patches(m.Dim.Bounds()) {
-							for _, qb := range parts[q] {
-								if p.Cell.Box.Overlaps(qb) {
-									perComp[v] = append(perComp[v], p)
-									break
+				// One sparse all-to-all: ship to each peer only the patches
+				// overlapping that peer's sub-domains.
+				msgs := make([][]float64, c.P)
+				for q := 0; q < c.P; q++ {
+					perComp := make([][]sample.Patch, grid.NumVoigt)
+					for _, rs := range results {
+						for v, comp := range rs.comps {
+							for _, p := range comp.Patches(m.Dim.Bounds()) {
+								for _, qb := range parts[q] {
+									if p.Cell.Box.Overlaps(qb) {
+										perComp[v] = append(perComp[v], p)
+										break
+									}
+								}
+							}
+						}
+					}
+					msgs[q] = sample.EncodeComponentPatches(perComp)
+				}
+				recv, _, err := w.AllToAllFT(msgs)
+				if err != nil {
+					return err // this worker's own injected crash
+				}
+				// Accumulate Δε on owned boxes (Algorithm 2 line 6). A dead
+				// peer's slot is nil: substitute its frozen contribution.
+				// (After a retry-exhaustion death — as opposed to an injected
+				// crash, which dies before sending — survivors may have
+				// frozen the peer one exchange apart; the checkpoint redo
+				// keeps the iteration itself consistent, and the residual
+				// absorbs the one-iteration-old source.)
+				for i := range deltas {
+					for v := range deltas[i].Comp {
+						deltas[i].Comp[v].Zero()
+					}
+				}
+				for q := 0; q < c.P; q++ {
+					buf := recv[q]
+					if buf == nil {
+						buf = frozen[q]
+						if buf == nil {
+							continue
+						}
+					} else {
+						frozen[q] = buf
+					}
+					perComp, err := sample.DecodeComponentPatches(buf)
+					if err != nil {
+						return err
+					}
+					for v, ps := range perComp {
+						for _, p := range ps {
+							for i, st := range states {
+								if err := p.AddToSubField(deltas[i].Comp[v], st.box.Lo, 1); err != nil {
+									return err
 								}
 							}
 						}
 					}
 				}
-				msgs[q] = sample.EncodeComponentPatches(perComp)
-			}
-			recv, err := w.AllToAll(msgs)
-			if err != nil {
-				return err
-			}
-			// Accumulate Δε on owned boxes (Algorithm 2 line 6).
-			for i := range deltas {
-				for v := range deltas[i].Comp {
-					deltas[i].Comp[v].Zero()
-				}
-			}
-			for q := 0; q < c.P; q++ {
-				perComp, err := sample.DecodeComponentPatches(recv[q])
-				if err != nil {
-					return err
-				}
-				for v, ps := range perComp {
-					for _, p := range ps {
-						for i, st := range states {
-							if err := p.AddToSubField(deltas[i].Comp[v], st.box.Lo, 1); err != nil {
-								return err
-							}
+
+				// Global mean pinning + residual in one 12-value all-reduce,
+				// which doubles as the failure-agreement round: the root's
+				// broadcast hands every survivor the same dead mask.
+				partial := make([]float64, 2*grid.NumVoigt)
+				for i := range deltas {
+					for v := 0; v < grid.NumVoigt; v++ {
+						for _, d := range deltas[i].Comp[v].Data {
+							partial[v] += d
+							partial[grid.NumVoigt+v] += d * d
 						}
 					}
 				}
-			}
-
-			// Global mean pinning + residual in one 12-value all-reduce.
-			partial := make([]float64, 2*grid.NumVoigt)
-			for i := range deltas {
-				for v := 0; v < grid.NumVoigt; v++ {
-					for _, d := range deltas[i].Comp[v].Data {
-						partial[v] += d
-						partial[grid.NumVoigt+v] += d * d
+				tot, mask, err := w.AllReduceSumFT(partial)
+				if err != nil {
+					return err
+				}
+				grew := false
+				for i := range mask {
+					if mask[i] && !knownDead[i] {
+						knownDead[i] = true
+						grew = true
 					}
 				}
+				if grew {
+					// A peer died inside this iteration, so survivors may
+					// hold inconsistent accumulations (some received the
+					// dead rank's patches, others declared it dead mid
+					// exchange). Restore the iteration-start strain from the
+					// checkpoint and redo the iteration with the dead set
+					// excluded everywhere.
+					restartsPer[w.ID]++
+					if restartsPer[w.ID] > c.P {
+						return fmt.Errorf("massif: worker %d exceeded restart limit at iteration %d", w.ID, iter)
+					}
+					if err := restore(); err != nil {
+						return err
+					}
+					continue redo
+				}
+				total = tot
+				break redo
 			}
-			total := w.AllReduceSum(partial)
-			nTot := float64(m.Dim.Len())
+			// Mean and residual over live voxels: dead sub-domains are
+			// frozen, so pinning the live mean keeps the survivors' average
+			// strain at E.
+			nTot := liveVoxels()
 			delta2 := 0.0
 			var mean [grid.NumVoigt]float64
 			for v := 0; v < grid.NumVoigt; v++ {
@@ -219,18 +338,77 @@ func SolveLowCommDistributed(c *cluster.Cluster, m *Microstructure, E grid.SymTe
 			}
 		}
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	out.Iterations = iterDone[0]
-	out.Converged = converged[0]
+	errs := c.RunAll(workerFn)
+	deadRanks := map[int]bool{}
+	for rank, e := range errs {
+		if e == nil {
+			continue
+		}
+		var ce *cluster.CrashError
+		var fe *cluster.FaultError
+		if errors.As(e, &ce) || errors.As(e, &fe) {
+			deadRanks[rank] = true
+			continue
+		}
+		return nil, e
+	}
+	for _, q := range c.DeadWorkers() {
+		deadRanks[q] = true
+	}
+
+	// Degraded assembly: a dead rank never reached the assembly step, so
+	// its sub-domains enter the result frozen at its last checkpointed
+	// strain (or the applied strain E if it died before checkpointing).
+	for q := range deadRanks {
+		snap, _, ok := ckpt.load(q)
+		sub := grid.NewField(kd)
+		for i, b := range parts[q] {
+			for v := 0; v < grid.NumVoigt; v++ {
+				if ok {
+					copy(sub.Data, snap[i][v])
+				} else {
+					for j := range sub.Data {
+						sub.Data[j] = E[v]
+					}
+				}
+				if err := strain.Comp[v].InsertBox(b, sub); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	live := -1
+	for q := 0; q < c.P; q++ {
+		if !deadRanks[q] {
+			live = q
+			break
+		}
+	}
+	if live < 0 {
+		return nil, fmt.Errorf("massif: no live workers completed the solve")
+	}
+	out.Iterations = iterDone[live]
+	out.Converged = converged[live]
 	out.Comm.Iterations = out.Iterations
 	for wID := range bytesPerIter {
 		out.Comm.BytesPerIter += bytesPerIter[wID]
 		out.Comm.SamplesPerIter += samplesPerIter[wID]
 	}
 	out.Comm.DenseBytesPerIter = 8 * m.Dim.Len() * grid.NumVoigt * len(boxes)
+	if len(deadRanks) > 0 {
+		out.Fault.Degraded = true
+		for q := range deadRanks {
+			out.Fault.Dead = append(out.Fault.Dead, q)
+		}
+		sort.Ints(out.Fault.Dead)
+	}
+	for _, rp := range restartsPer {
+		if rp > out.Fault.Restarts {
+			out.Fault.Restarts = rp
+		}
+	}
 	if _, err := m.StressField(strain, stress); err != nil {
 		return nil, err
 	}

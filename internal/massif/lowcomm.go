@@ -30,10 +30,22 @@ type LowCommStats struct {
 	Iterations        int
 }
 
+// LowCommFaultReport describes the degraded-mode outcome of a distributed
+// solve on a faulty fabric: which ranks died, how many iterations were
+// redone from a strain checkpoint, and whether the solution omits dead
+// workers' live contributions (their sub-domains are frozen at their last
+// checkpointed strain).
+type LowCommFaultReport struct {
+	Dead     []int // ranks declared dead during the solve
+	Restarts int   // iterations redone from a strain checkpoint
+	Degraded bool  // true when any rank died
+}
+
 // LowCommResult bundles the solution with its communication accounting.
 type LowCommResult struct {
 	Result
-	Comm LowCommStats
+	Comm  LowCommStats
+	Fault LowCommFaultReport // zero value on a healthy run
 }
 
 // SolveLowComm runs the paper's Algorithm 2: each iteration convolves every

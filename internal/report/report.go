@@ -81,6 +81,21 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
+// FaultTable renders the cluster transport's fault-tolerance counters —
+// the observability half of the fault-injection layer, shared by
+// `paperbench -faults` and operator tooling. Pass the counters in the
+// canonical order retransmits, timeouts, checksum drops, duplicate drops,
+// dead workers.
+func FaultTable(title string, retransmits, timeouts, corrupt, dup, dead int64) *Table {
+	t := New(title, "counter", "value")
+	t.AddCells("retransmits (deadline-triggered)", fmt.Sprint(retransmits))
+	t.AddCells("receive timeouts", fmt.Sprint(timeouts))
+	t.AddCells("corrupt deliveries dropped (checksum)", fmt.Sprint(corrupt))
+	t.AddCells("duplicate deliveries dropped (seq)", fmt.Sprint(dup))
+	t.AddCells("workers declared dead", fmt.Sprint(dead))
+	return t
+}
+
 // Bytes formats a byte count with binary units.
 func Bytes(b int64) string {
 	switch {
