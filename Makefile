@@ -1,9 +1,11 @@
-.PHONY: verify build test bench
+.PHONY: verify build test bench fuzz-smoke
 
 # The gate for every change: static checks, full build, and the complete
 # test suite under the race detector (the fault-tolerant transport is
 # heavily concurrent; -race is not optional for it).
 verify:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
 	go vet ./...
 	go build ./...
 	go test -race ./...
@@ -14,5 +16,14 @@ build:
 test:
 	go test ./...
 
+# Benchmarks across every package, with the parsed results captured as
+# JSON (cmd/benchjson) for cross-PR regression tracking.
 bench:
-	go test -bench=. -benchmem .
+	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR2.json
+
+# 10s smoke of each fuzz target against the committed seed corpora; the
+# full 30s runs are part of the PR acceptance checklist.
+fuzz-smoke:
+	go test ./internal/fft/ -fuzz=FuzzFFTRoundTrip -fuzztime=10s -fuzzminimizetime=5x
+	go test ./internal/octree/ -fuzz=FuzzOctreeMetaCodec -fuzztime=10s -fuzzminimizetime=5x
+	go test ./internal/sample/ -fuzz=FuzzCompressedIO -fuzztime=10s -fuzzminimizetime=5x

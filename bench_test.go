@@ -17,6 +17,7 @@ import (
 	"lowcomm3d/internal/green"
 	"lowcomm3d/internal/grid"
 	"lowcomm3d/internal/massif"
+	"lowcomm3d/internal/obs"
 	"lowcomm3d/internal/sample"
 )
 
@@ -366,4 +367,41 @@ func BenchmarkFFT1D(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkObsOverhead quantifies the cost of the observability layer on
+// the local pipeline: the same convolution with tracing off (nil trace,
+// every span/counter call a no-op) and on. The traced run also reports the
+// model-flop and sample-byte counters through ReportMetric so they land in
+// BENCH_PR2.json next to ns/op.
+func BenchmarkObsOverhead(b *testing.B) {
+	n, k := 64, 16
+	dim := grid.Cube(n)
+	sub := grid.CubeAt(grid.Point{8, 8, 8}, k)
+	kernel := green.Gaussian{Sigma: 2}
+	tree, err := sample.DefaultPolicy(sub, 8).Tree(dim)
+	if err != nil {
+		b.Fatal(err)
+	}
+	subField := smoothSub(k)
+	run := func(b *testing.B, cfg conv.Config) {
+		local, err := conv.NewLocal(dim, sub, tree, conv.KernelPointwise(dim, kernel), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := local.Run(subField); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("untraced", func(b *testing.B) {
+		run(b, conv.Config{Pruned: true})
+	})
+	b.Run("traced", func(b *testing.B) {
+		tr := obs.New()
+		run(b, conv.Config{Pruned: true, Trace: tr})
+		b.ReportMetric(float64(tr.CounterValue("conv.flops_model"))/float64(b.N), "model-flops/op")
+		b.ReportMetric(float64(tr.CounterValue("conv.sample_bytes"))/float64(b.N), "sample-B/op")
+	})
 }

@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document for regression tracking. It reads the benchmark stream on
+// stdin, echoes it unchanged to stdout (so `make bench` still shows the
+// familiar text), and writes the parsed results to the file given by -o.
+//
+//	go test -bench=. -benchmem ./... | benchjson -o BENCH.json
+//
+// Every metric on a result line is kept, including custom ones emitted via
+// testing.B.ReportMetric, so model-cost counters (flops/op, bytes/op)
+// travel next to ns/op in the same record.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line: name split from the -P procs suffix, the
+// iteration count, and every "value unit" metric pair that followed it.
+type Result struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the whole document: the environment header go test prints,
+// plus every benchmark parsed from the stream.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+	Failed     []string `json:"failed_packages,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "", "write the JSON report to this file (default stdout only gets the echoed text)")
+	flag.Parse()
+
+	rep, err := parse(os.Stdin, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		log.Fatal("no benchmark results found in input")
+	}
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d benchmark results to %s", len(rep.Benchmarks), *out)
+	if len(rep.Failed) > 0 {
+		log.Fatalf("benchmark stream reported failures in: %s", strings.Join(rep.Failed, ", "))
+	}
+}
+
+func parse(r io.Reader, echo io.Writer) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "FAIL\t"):
+			f := strings.Fields(line)
+			if len(f) >= 2 {
+				rep.Failed = append(rep.Failed, f[1])
+			}
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseResult(line); ok {
+				res.Pkg = pkg
+				rep.Benchmarks = append(rep.Benchmarks, res)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseResult decodes one result line:
+//
+//	BenchmarkFFT1D/n=256-8  50000  30123 ns/op  8192 B/op  3 allocs/op
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// Split the GOMAXPROCS suffix the bench runner appends to the name.
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], p
+		}
+	}
+	// The remainder alternates "value unit".
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[fields[i+1]] = v
+	}
+	return res, len(res.Metrics) > 0
+}

@@ -1,0 +1,118 @@
+// Command genfuzzcorpus regenerates the checked-in seed corpora under
+// internal/*/testdata/fuzz/. The corpus mirrors (and extends) the f.Add
+// seeds so `go test` exercises them on every run and `go test -fuzz`
+// starts from structurally interesting inputs — including genuine binary
+// WriteTo/WriteTo32 streams that are impractical to hand-write.
+//
+// Run from the repo root: go run ./cmd/genfuzzcorpus
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/octree"
+	"lowcomm3d/internal/sample"
+)
+
+// entry renders one fuzz-corpus value line (go test fuzz v1 format).
+func entry(v any) string {
+	switch x := v.(type) {
+	case int:
+		return fmt.Sprintf("int(%d)", x)
+	case []byte:
+		return fmt.Sprintf("[]byte(%s)", strconv.Quote(string(x)))
+	default:
+		log.Fatalf("unsupported corpus value type %T", v)
+		return ""
+	}
+}
+
+func writeSeed(dir, name string, values ...any) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString("go test fuzz v1\n")
+	for _, v := range values {
+		buf.WriteString(entry(v))
+		buf.WriteByte('\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func metaBytes(meta []int32) []byte {
+	raw := make([]byte, 4*len(meta))
+	for i, m := range meta {
+		binary.LittleEndian.PutUint32(raw[4*i:], uint32(m))
+	}
+	return raw
+}
+
+func main() {
+	// FuzzFFTRoundTrip(n int, data []byte)
+	fftDir := filepath.Join("internal", "fft", "testdata", "fuzz", "FuzzFFTRoundTrip")
+	writeSeed(fftDir, "seed-pow2", 8, []byte{1, 2, 3, 4})
+	writeSeed(fftDir, "seed-bluestein-prime", 7, []byte{0xff, 0x00, 0x7f})
+	writeSeed(fftDir, "seed-large-prime", 127, []byte{3, 1, 4, 1, 5, 9, 2, 6})
+	writeSeed(fftDir, "seed-composite", 48, []byte{0xaa, 0x55, 0xaa, 0x55})
+	writeSeed(fftDir, "seed-length-one", 1, []byte{42})
+
+	// FuzzOctreeMetaCodec(n int, totalSamples int, metaBytes []byte)
+	octDir := filepath.Join("internal", "octree", "testdata", "fuzz", "FuzzOctreeMetaCodec")
+	near := grid.BoxAt(grid.Point{0, 0, 0}, 8, 8, 8)
+	tree, err := octree.Build(grid.Cube(16), func(b grid.Box) int {
+		if b.Hi[0]-b.Lo[0] > 8 {
+			return 0
+		}
+		if near.ContainsBox(b) {
+			return 1
+		}
+		return 4
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeSeed(octDir, "seed-genuine", 16, tree.SampleCount(), metaBytes(tree.EncodeMeta()))
+	writeSeed(octDir, "seed-single-cell", 8, 27, metaBytes([]int32{0, 0, 0, 1, 0}))
+	writeSeed(octDir, "seed-negative-total", 4, -5, metaBytes([]int32{0, 0, 0, 1, 0}))
+	writeSeed(octDir, "seed-huge-total", 1<<20, 1<<50, metaBytes([]int32{0, 0, 0, 1, 0}))
+	corruptMeta := tree.EncodeMeta()
+	corruptMeta[3] = 3 // non-power-of-two rate
+	writeSeed(octDir, "seed-bad-rate", 16, tree.SampleCount(), metaBytes(corruptMeta))
+
+	// FuzzCompressedIO(data []byte)
+	smpDir := filepath.Join("internal", "sample", "testdata", "fuzz", "FuzzCompressedIO")
+	utree, err := sample.Uniform{Rate: 2, CellSize: 8}.Tree(grid.Cube(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := sample.NewCompressed(utree)
+	for i := range c.Samples {
+		c.Samples[i] = float64(i)*0.25 - 3
+	}
+	var v64, v32 bytes.Buffer
+	if _, err := c.WriteTo(&v64); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.WriteTo32(&v32); err != nil {
+		log.Fatal(err)
+	}
+	writeSeed(smpDir, "seed-v64", v64.Bytes())
+	writeSeed(smpDir, "seed-v32", v32.Bytes())
+	writeSeed(smpDir, "seed-truncated-header", v64.Bytes()[:20])
+	writeSeed(smpDir, "seed-truncated-payload", v64.Bytes()[:v64.Len()-3])
+	lying := bytes.Clone(v64.Bytes())
+	binary.LittleEndian.PutUint64(lying[16:], 1<<39) // forge a huge sample count
+	writeSeed(smpDir, "seed-lying-count", lying)
+
+	fmt.Println("seed corpora written under internal/*/testdata/fuzz/")
+}

@@ -28,6 +28,7 @@ import (
 	"lowcomm3d/internal/green"
 	"lowcomm3d/internal/grid"
 	"lowcomm3d/internal/massif"
+	"lowcomm3d/internal/obs"
 	"lowcomm3d/internal/report"
 	"lowcomm3d/internal/sample"
 )
@@ -45,8 +46,12 @@ func main() {
 		fleet   = flag.Bool("fleet", false, "DGX-2 batch-throughput model (§5.1 batching claim)")
 		sweep   = flag.Bool("sweep", false, "measured accuracy/compression tradeoff across far rates (§5.4)")
 		all     = flag.Bool("all", false, "run everything")
+		traceTo = flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto JSON) of the run to this file")
 	)
 	flag.Parse()
+	if *traceTo != "" {
+		tr = obs.New()
+	}
 
 	ran := false
 	run := func(cond bool, f func() error) {
@@ -75,7 +80,24 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *traceTo != "" {
+		out, err := os.Create(*traceTo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChromeTrace(out); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)", *traceTo)
+	}
 }
+
+// tr is the optional run-wide trace; nil (no -trace flag) makes every
+// instrumentation call a no-op.
+var tr *obs.Trace
 
 func table1() error {
 	t := report.New("Table 1 — memory: traditional full-grid FFT vs domain-local FFT (GB)",
@@ -142,7 +164,7 @@ func fig1() error {
 	}
 	kernel := green.Gaussian{Sigma: 2}
 
-	cTrad, err := cluster.New(p, cluster.DefaultParams())
+	cTrad, err := cluster.NewWithOptions(p, cluster.DefaultParams(), cluster.Options{Trace: tr})
 	if err != nil {
 		return err
 	}
@@ -151,7 +173,7 @@ func fig1() error {
 	}
 	tb, tm, tc, ts := cTrad.Stats.Snapshot()
 
-	cPencil, err := cluster.New(p, cluster.DefaultParams())
+	cPencil, err := cluster.NewWithOptions(p, cluster.DefaultParams(), cluster.Options{Trace: tr})
 	if err != nil {
 		return err
 	}
@@ -160,11 +182,11 @@ func fig1() error {
 	}
 	pb, pm, pc, ps := cPencil.Stats.Snapshot()
 
-	cOurs, err := cluster.New(p, cluster.DefaultParams())
+	cOurs, err := cluster.NewWithOptions(p, cluster.DefaultParams(), cluster.Options{Trace: tr})
 	if err != nil {
 		return err
 	}
-	if _, err := cluster.LowCommConvolve(cOurs, f, kernel, k, 16, conv.Config{Pruned: true}); err != nil {
+	if _, err := cluster.LowCommConvolve(cOurs, f, kernel, k, 16, conv.Config{Pruned: true, Trace: tr}); err != nil {
 		return err
 	}
 	ob, om, oc, osim := cOurs.Stats.Snapshot()
@@ -264,7 +286,7 @@ func measured() error {
 		if err != nil {
 			return err
 		}
-		local, err := conv.NewLocal(dim, sub, tree, conv.KernelPointwise(dim, kernel), conv.Config{Pruned: true})
+		local, err := conv.NewLocal(dim, sub, tree, conv.KernelPointwise(dim, kernel), conv.Config{Pruned: true, Trace: tr})
 		if err != nil {
 			return err
 		}
@@ -326,9 +348,9 @@ func massifComm() error {
 		return err
 	}
 	E := grid.SymTensor{0.01, 0, 0, 0, 0, 0}
-	opt := massif.Options{Tol: 1e-12, MaxIter: iters}
+	opt := massif.Options{Tol: 1e-12, MaxIter: iters, Trace: tr}
 
-	cRef, err := cluster.New(p, cluster.DefaultParams())
+	cRef, err := cluster.NewWithOptions(p, cluster.DefaultParams(), cluster.Options{Trace: tr})
 	if err != nil {
 		return err
 	}
@@ -337,7 +359,7 @@ func massifComm() error {
 	}
 	rb, _, rr, rs := cRef.Stats.Snapshot()
 
-	cLow, err := cluster.New(p, cluster.DefaultParams())
+	cLow, err := cluster.NewWithOptions(p, cluster.DefaultParams(), cluster.Options{Trace: tr})
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lowcomm3d/internal/obs"
 )
 
 // Stats accounts every byte that crosses worker boundaries, the measured
@@ -26,6 +28,55 @@ type Stats struct {
 	CorruptDropped int64 // deliveries discarded on checksum mismatch
 	DupDropped     int64 // duplicate deliveries discarded by sequence number
 	DeadWorkers    int64 // workers declared dead (crash or retry exhaustion)
+
+	// Collectives is the measured twin of the α–β model: one record per
+	// completed all-to-all round holding the bytes that actually crossed
+	// the fabric next to the model's inputs and predicted time, so tests
+	// (and paperbench -measured) can diff measurement against Eq. 1/Eq. 6
+	// exactly instead of trusting the analytic path.
+	Collectives []MeasuredCollective
+
+	// Cached obs handles (nil when no trace is attached); kept out of the
+	// per-message lock-free path's way by resolving names once at setup.
+	bytesC   *obs.Counter
+	msgsC    *obs.Counter
+	retransC *obs.Counter
+	timeoutC *obs.Counter
+	collOpsC *obs.Counter
+	collByC  *obs.Counter
+}
+
+// MeasuredCollective is one completed collective round as observed on the
+// fabric, paired with the α–β model's view of the same round.
+type MeasuredCollective struct {
+	Op           string  // "all-to-all"
+	Bytes        int64   // fabric bytes actually moved this round (all ranks)
+	MaxPairBytes int     // largest single pairwise buffer (the model input)
+	Participants int     // ranks accounted in the round
+	ModelSec     float64 // (Participants−1) · MessageTime(MaxPairBytes)
+}
+
+// attachTrace caches the trace's counters so the recording fast paths do
+// one nil check instead of a map lookup per message.
+func (s *Stats) attachTrace(t *obs.Trace) {
+	if t == nil {
+		return
+	}
+	s.bytesC = t.Counter("cluster.bytes")
+	s.msgsC = t.Counter("cluster.messages")
+	s.retransC = t.Counter("cluster.retransmits")
+	s.timeoutC = t.Counter("cluster.timeouts")
+	s.collOpsC = t.Counter("cluster.collective.rounds")
+	s.collByC = t.Counter("cluster.collective.bytes")
+}
+
+// CollectiveSnapshot returns a copy of the measured collective rounds.
+func (s *Stats) CollectiveSnapshot() []MeasuredCollective {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]MeasuredCollective, len(s.Collectives))
+	copy(out, s.Collectives)
+	return out
 }
 
 // recordMessage counts one point-to-point or collective-internal message.
@@ -40,6 +91,8 @@ func (s *Stats) recordMessage(bytes int, p Params, timed bool) {
 		s.SimulatedSec += p.MessageTime(bytes)
 	}
 	s.mu.Unlock()
+	s.bytesC.Add(int64(bytes))
+	s.msgsC.Add(1)
 }
 
 // recordRetransmit counts a retry: real traffic, real α–β time, but kept
@@ -50,18 +103,30 @@ func (s *Stats) recordRetransmit(bytes int, p Params) {
 	s.BytesSent += int64(bytes)
 	s.SimulatedSec += p.MessageTime(bytes)
 	s.mu.Unlock()
+	s.retransC.Add(1)
+	s.bytesC.Add(int64(bytes))
 }
 
-func (s *Stats) recordCollective(maxPairBytes int, workers int, p Params) {
-	s.mu.Lock()
-	s.AllToAllOps++
+func (s *Stats) recordCollective(maxPairBytes int, sumBytes int64, workers int, p Params) {
 	// Linear all-to-all cost: P−1 sequential pairwise exchanges of the
 	// largest message (conservative, matches Eq. 2 applied per peer).
-	s.SimulatedSec += float64(workers-1) * p.MessageTime(maxPairBytes)
+	modelSec := float64(workers-1) * p.MessageTime(maxPairBytes)
+	s.mu.Lock()
+	s.AllToAllOps++
+	s.SimulatedSec += modelSec
+	s.Collectives = append(s.Collectives, MeasuredCollective{
+		Op:           "all-to-all",
+		Bytes:        sumBytes,
+		MaxPairBytes: maxPairBytes,
+		Participants: workers,
+		ModelSec:     modelSec,
+	})
 	s.mu.Unlock()
+	s.collOpsC.Add(1)
+	s.collByC.Add(sumBytes)
 }
 
-func (s *Stats) bumpTimeout()     { s.mu.Lock(); s.Timeouts++; s.mu.Unlock() }
+func (s *Stats) bumpTimeout()     { s.mu.Lock(); s.Timeouts++; s.mu.Unlock(); s.timeoutC.Add(1) }
 func (s *Stats) bumpCorrupt()     { s.mu.Lock(); s.CorruptDropped++; s.mu.Unlock() }
 func (s *Stats) bumpDup()         { s.mu.Lock(); s.DupDropped++; s.mu.Unlock() }
 func (s *Stats) bumpDeadWorkers() { s.mu.Lock(); s.DeadWorkers++; s.mu.Unlock() }
@@ -137,6 +202,11 @@ type Options struct {
 	RetryBudget int
 	// Transport is the fabric model; nil means reliable delivery.
 	Transport Transport
+	// Trace, when non-nil, records fabric counters (cluster.bytes,
+	// cluster.messages, cluster.retransmits, cluster.timeouts,
+	// cluster.backoff_wait_ns, cluster.collective.rounds/bytes) and one
+	// span per worker collective, on display track worker-ID+1.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -211,6 +281,7 @@ type collectiveAgg struct {
 	mu       sync.Mutex
 	arrived  int
 	maxBytes int
+	sumBytes int64 // fabric bytes every arrived rank will actually ship
 }
 
 // Cluster is a set of in-process workers connected by counted channels
@@ -242,6 +313,7 @@ func NewWithOptions(p int, params Params, opts Options) (*Cluster, error) {
 	}
 	c := &Cluster{P: p, Params: params, opts: opts.withDefaults()}
 	c.transport = c.opts.Transport
+	c.Stats.attachTrace(c.opts.Trace)
 	c.boxes = make([][]chan message, p)
 	c.logs = make([][]*sendLog, p)
 	c.recvs = make([][]*recvState, p)
@@ -290,15 +362,17 @@ func (c *Cluster) liveCount() int {
 	return n
 }
 
-// recordCollectiveArrival folds one rank's largest outgoing buffer into
+// recordCollectiveArrival folds one rank's largest outgoing buffer (the
+// model input) and its total outgoing fabric bytes (the measurement) into
 // the in-flight collective; when every live rank has arrived the round is
 // accounted once with the global maximum.
-func (c *Cluster) recordCollectiveArrival(localMaxBytes int) {
+func (c *Cluster) recordCollectiveArrival(localMaxBytes int, localSumBytes int64) {
 	c.agg.mu.Lock()
 	c.agg.arrived++
 	if localMaxBytes > c.agg.maxBytes {
 		c.agg.maxBytes = localMaxBytes
 	}
+	c.agg.sumBytes += localSumBytes
 	c.agg.mu.Unlock()
 	c.maybeFlushCollective()
 }
@@ -314,9 +388,10 @@ func (c *Cluster) maybeFlushCollective() {
 		if c.P == 1 {
 			participants = 1
 		}
-		c.Stats.recordCollective(c.agg.maxBytes, participants, c.Params)
+		c.Stats.recordCollective(c.agg.maxBytes, c.agg.sumBytes, participants, c.Params)
 		c.agg.arrived = 0
 		c.agg.maxBytes = 0
+		c.agg.sumBytes = 0
 	}
 	c.agg.mu.Unlock()
 }
@@ -458,6 +533,7 @@ func (w *Worker) recvRaw(from int, op string) ([]float64, error) {
 			}
 		}
 		c.Stats.bumpTimeout()
+		c.opts.Trace.Counter("cluster.backoff_wait_ns").Add(int64(timeout))
 		if from != w.ID && c.isDead(from) {
 			return nil, &FaultError{Worker: w.ID, Peer: from, Op: op, Attempts: attempt}
 		}
@@ -514,7 +590,10 @@ func (w *Worker) AllToAllFT(out [][]float64) (in [][]float64, missing []int, err
 	if err := w.crashPoint("all-to-all"); err != nil {
 		return nil, nil, err
 	}
+	sp := w.c.opts.Trace.StartTrack("cluster.alltoall", w.ID+1)
+	defer sp.End()
 	localMax := 0
+	localSum := int64(0)
 	for to, b := range out {
 		if to == w.ID {
 			continue // self-copy never crosses the fabric
@@ -522,8 +601,11 @@ func (w *Worker) AllToAllFT(out [][]float64) (in [][]float64, missing []int, err
 		if 8*len(b) > localMax {
 			localMax = 8 * len(b)
 		}
+		if !w.c.isDead(to) {
+			localSum += int64(8 * len(b)) // what sendRaw will actually count
+		}
 	}
-	w.c.recordCollectiveArrival(localMax)
+	w.c.recordCollectiveArrival(localMax, localSum)
 	for to := 0; to < w.c.P; to++ {
 		w.sendRaw(to, out[to], false)
 	}
@@ -575,6 +657,8 @@ func (w *Worker) AllReduceSumFT(local []float64) (total []float64, dead []bool, 
 	if err := w.crashPoint("all-reduce"); err != nil {
 		return nil, nil, err
 	}
+	sp := w.c.opts.Trace.StartTrack("cluster.allreduce", w.ID+1)
+	defer sp.End()
 	c := w.c
 	if c.P == 1 {
 		out := make([]float64, len(local))
@@ -647,6 +731,8 @@ func (w *Worker) Broadcast(root int, data []float64) ([]float64, error) {
 	if err := w.crashPoint("broadcast"); err != nil {
 		return nil, err
 	}
+	sp := w.c.opts.Trace.StartTrack("cluster.broadcast", w.ID+1)
+	defer sp.End()
 	if w.ID == root {
 		for to := 0; to < w.c.P; to++ {
 			if to != root && !w.c.isDead(to) {

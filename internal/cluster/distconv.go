@@ -182,13 +182,13 @@ func (w *Worker) TransposeZY(in []complex128, n, per int, back bool) ([]complex1
 // therefore never assembled, and Bound carries the missing-mass widening
 // of the Taylor error bound covering the omitted contributions.
 type LowCommResult struct {
-	Field       *grid.Field
-	SampleBytes int64 // compressed bytes that crossed the fabric
-	Missing     []int
+	Field        *grid.Field
+	SampleBytes  int64 // compressed bytes that crossed the fabric
+	Missing      []int
 	MissingBoxes []grid.Box
-	LostRegions []grid.Box
-	Bound       sample.ErrorBound
-	Degraded    bool
+	LostRegions  []grid.Box
+	Bound        sample.ErrorBound
+	Degraded     bool
 }
 
 // MissingMassBound bounds the contribution omitted when the sub-domains in
@@ -222,6 +222,73 @@ func MissingMassBound(f *grid.Field, kernel green.Kernel, boxes []grid.Box) samp
 		L2:   maxHat * norm / math.Sqrt(n3),
 		LInf: norm * math.Sqrt(sumHat2/n3),
 	}
+}
+
+// exchangeMessages builds the sparse exchange's per-peer payloads: for
+// each peer q, every patch of the worker's compressed results that
+// intersects q's output region, encoded as one flat message. Shared by
+// LowCommConvolve (with computed samples) and LowCommExchangeBytes (with
+// zero-valued samples — the encoding length is sample-independent).
+func exchangeMessages(results []*sample.Compressed, p int, region func(int) grid.Box) [][]float64 {
+	msgs := make([][]float64, p)
+	for q := 0; q < p; q++ {
+		var patches []sample.Patch
+		for _, res := range results {
+			patches = append(patches, res.Patches(region(q))...)
+		}
+		msgs[q] = sample.EncodePatches(patches)
+	}
+	return msgs
+}
+
+// LowCommExchangeBytes predicts, exactly, the fabric bytes the single
+// sparse exchange of LowCommConvolve(d, subSize, farRate) will move on P
+// healthy workers: Σ over workers w and peers q≠w of 8·len(msg[w→q]). The
+// patch layout depends only on the decomposition and sampling octrees —
+// never on field values — so the prediction is computed from zero-filled
+// compressed results without running any transforms. This is the
+// implementation-exact counterpart of the Eq. 6 model figure TOursBytes
+// (which ignores patch metadata and counts each worker's whole output
+// once rather than per-peer slab intersections).
+func LowCommExchangeBytes(d grid.Dim3, p, subSize, farRate int) (int64, error) {
+	n := d.Nx
+	if d.Ny != n || d.Nz != n {
+		return 0, fmt.Errorf("cluster: grid %v must be cubic", d)
+	}
+	if p < 1 || n%p != 0 {
+		return 0, fmt.Errorf("cluster: grid size %d not divisible by %d workers", n, p)
+	}
+	boxes, err := grid.Decompose(d, subSize)
+	if err != nil {
+		return 0, err
+	}
+	parts, err := grid.Partition(boxes, p)
+	if err != nil {
+		return 0, err
+	}
+	zPer := n / p
+	region := func(q int) grid.Box {
+		return grid.BoxAt(grid.Point{0, 0, q * zPer}, n, n, zPer)
+	}
+	total := int64(0)
+	for w := 0; w < p; w++ {
+		var results []*sample.Compressed
+		for _, b := range parts[w] {
+			tree, err := sample.DefaultPolicy(b, farRate).Tree(d)
+			if err != nil {
+				return 0, err
+			}
+			results = append(results, sample.NewCompressed(tree))
+		}
+		msgs := exchangeMessages(results, p, region)
+		for q := 0; q < p; q++ {
+			if q == w {
+				continue
+			}
+			total += int64(8 * len(msgs[q]))
+		}
+	}
+	return total, nil
 }
 
 // LowCommConvolve runs the proposed method of Fig. 1b on P simulated
@@ -289,14 +356,7 @@ func LowCommConvolve(c *Cluster, f *grid.Field, kernel green.Kernel, subSize, fa
 		}
 		// The single sparse exchange: patches intersecting each peer's
 		// output region.
-		msgs := make([][]float64, p)
-		for q := 0; q < p; q++ {
-			var patches []sample.Patch
-			for _, res := range results {
-				patches = append(patches, res.Patches(region(q))...)
-			}
-			msgs[q] = sample.EncodePatches(patches)
-		}
+		msgs := exchangeMessages(results, p, region)
 		recv, missing, err := w.AllToAllFT(msgs)
 		if err != nil {
 			return err

@@ -50,6 +50,39 @@ func (p Params) TCommFFT(n, workers int) float64 {
 	return 2 * bytes * p.Beta / float64(workers)
 }
 
+// TCommFFTBytes is Eq. 1's byte numerator, exactly and in integers:
+// 2·8·N³, two transpose rounds at 8 bytes per grid point. The
+// implementation transposes the COMPLEX grid (16 bytes per point), so one
+// real round moves exactly TCommFFTBytes·(P−1)/P on the fabric — the 16
+// bytes of one round equal the model's 2×8 across both, and (P−1)/P is
+// the self-block a real fabric never carries. Hence the exact identity
+// pinned by TestMeasuredCommMatchesModel: two measured rounds satisfy
+// measured·P == 2·TCommFFTBytes·(P−1). The measured side is what
+// cluster.Stats.Collectives records during DistFFTConvolve.
+func TCommFFTBytes(n int) int64 {
+	return 2 * 8 * int64(n) * int64(n) * int64(n)
+}
+
+// FFTTransposeFabricBytes is the exact fabric traffic of ONE slab
+// transpose among P workers on an N³ complex grid: each worker ships its
+// per×per×n block to each of the P−1 peers (the self-block stays local),
+// 16·N³·(P−1)/P bytes in total — TCommFFTBytes·(P−1)/P per round. n must
+// be divisible by workers (the DistFFTConvolve precondition).
+func FFTTransposeFabricBytes(n, workers int) int64 {
+	if workers <= 1 {
+		return 0
+	}
+	n3OverP := int64(n) * int64(n) * int64(n/workers)
+	return 16 * n3OverP * int64(workers-1)
+}
+
+// TOursBytes is Eq. 6's per-node byte count, exactly and in integers:
+// 8·(k³ + SparseSamples(n, k, r)) — the dense k³ sub-domain plus its
+// sparse far-field samples at 8 bytes each. Multiplying by β/P gives TOurs.
+func TOursBytes(n, k, r int) int64 {
+	return 8 * (int64(k)*int64(k)*int64(k) + int64(SparseSamples(n, k, r)))
+}
+
 // SparseSamples evaluates the paper's Eq. 6 sample count: for a k³
 // sub-domain in an N³ grid with average downsampling rate r, the number of
 // sparse points is (N³ − k³)/r³.

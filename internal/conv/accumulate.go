@@ -153,7 +153,9 @@ func (dc Decomposed) Run(f *grid.Field) (*grid.Field, DecomposedStats, error) {
 		ds.CompressionMean /= float64(len(ds.PerSub))
 	}
 	ds.DenseBytes = 8 * f.Dim.Len() * (len(boxes) - ds.SkippedZero)
+	acc := dc.Cfg.Trace.Start("conv.accumulate")
 	out, err := Accumulate(f.Dim, results)
+	acc.End()
 	if err != nil {
 		return nil, ds, err
 	}

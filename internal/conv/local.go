@@ -6,6 +6,7 @@ import (
 	"lowcomm3d/internal/fft"
 	"lowcomm3d/internal/green"
 	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/obs"
 	"lowcomm3d/internal/octree"
 	"lowcomm3d/internal/sample"
 )
@@ -58,6 +59,12 @@ type Config struct {
 	Workers int  // goroutines for batched pencil stages (≤0: GOMAXPROCS)
 	BatchB  int  // pencils per batch, the paper's §5.4 batch parameter (≤0: one batch)
 	Pruned  bool // use input-pruned z transforms (transform decomposition)
+
+	// Trace, when non-nil, records per-stage spans ("conv.run",
+	// "conv.stageA/B/C"), per-worker pencil spans, and the counters/gauges
+	// behind Stats (conv.pencils, conv.samples, conv.sample_bytes,
+	// conv.flops_model, conv.peak_bytes). Nil disables all recording.
+	Trace *obs.Trace
 }
 
 // Stats reports the footprint and work of one local convolution, the
@@ -188,11 +195,14 @@ func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
 	n := l.dim.Nx
 	k := s[0]
 	ox, oy, oz := l.sub.Lo[0], l.sub.Lo[1], l.sub.Lo[2]
+	run := l.cfg.Trace.Start("conv.run")
+	defer run.End()
 
 	// Stage A — forward 2D transforms of the k sub-domain slices into the
 	// N×N×k slab ("the small domain undergoes a 2D transform to a slab").
 	// The buffer is reused across runs; the padded path needs it zeroed
 	// (only the k×k block is written before the full-plane transform).
+	spanA := run.Start("conv.stageA")
 	if len(l.slabBuf) != n*n*k {
 		l.slabBuf = make([]complex128, n*n*k)
 	} else if !l.cfg.Pruned {
@@ -201,15 +211,18 @@ func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
 		}
 	}
 	slab := l.slabBuf
-	if err := l.slabForward(slab, subField, n, k, ox, oy); err != nil {
+	if err := l.slabForward(spanA, slab, subField, n, k, ox, oy); err != nil {
+		spanA.End()
 		return nil, st, err
 	}
+	spanA.End()
 	st.SlabBytes = 16 * n * n * k
 
 	// Stage B — batched 1D z transforms of the N² pencils with the
 	// pointwise callback, inverse z transform, keeping only sampled z
 	// planes ("the slab is then transformed in a batch fashion by taking
 	// 1D transforms of B pencils at a time in the z-dimension").
+	spanB := run.Start("conv.stageB")
 	nz := len(l.keptZ)
 	if len(l.planesBuf) != n*n*nz {
 		l.planesBuf = make([]complex128, n*n*nz)
@@ -242,7 +255,7 @@ func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
 		if end > n*n {
 			end = n * n
 		}
-		fft.ParallelFor(end-start, workers, func(w, i int) {
+		fft.ParallelForSpanned(spanB, "conv.stageB.worker", end-start, workers, func(w, i int) {
 			if ec.Failed() {
 				return
 			}
@@ -284,17 +297,21 @@ func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
 			}
 		})
 		if err := ec.Err(); err != nil {
+			spanB.End()
 			return nil, st, err
 		}
 	}
+	spanB.End()
 
 	// Stage C — inverse 2D transform of each kept plane, then gather the
 	// octree samples (the full 3D result is never materialized).
+	spanC := run.Start("conv.stageC")
 	out := sample.NewCompressed(l.tree)
 	st.SampleCount = len(out.Samples)
 	for slot, z := range l.keptZ {
 		plane := planes[slot*n*n : (slot+1)*n*n]
 		if err := l.plan2d.InversePlane(plane); err != nil {
+			spanC.End()
 			return nil, st, err
 		}
 		for _, g := range l.zIndex[z] {
@@ -306,6 +323,21 @@ func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
 	st.ModelBytes = 8 * n * n * k
 	st.PeakBytes = st.SlabBytes + st.PlanesBytes + st.SampleBytes
 	st.Compression = out.CompressionRatio()
+	spanC.End()
+	if tr := l.cfg.Trace; tr != nil {
+		tr.Counter("conv.pencils").Add(int64(st.PencilCount))
+		tr.Counter("conv.samples").Add(int64(st.SampleCount))
+		tr.Counter("conv.sample_bytes").Add(int64(st.SampleBytes))
+		// FLOP model: stage A does k 2D plane transforms (n lines per axis),
+		// stage B two length-n transforms per pencil, stage C one inverse
+		// 2D transform per kept plane.
+		perPlane2D := 2 * int64(n) * obs.FFTFlops(n)
+		tr.Counter("conv.flops_model").Add(
+			int64(k)*perPlane2D +
+				int64(st.PencilCount)*2*obs.FFTFlops(n) +
+				int64(st.KeptZPlanes)*perPlane2D)
+		tr.Gauge("conv.peak_bytes").Max(int64(st.PeakBytes))
+	}
 	return out, st, nil
 }
 
@@ -313,11 +345,11 @@ func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
 // sub-domain slices. With pruning enabled, both 1D passes skip the
 // implicit zeros (x lines have support k at ox; after the x pass, y
 // columns have support k at oy).
-func (l *Local) slabForward(slab []complex128, subField *grid.Field, n, k, ox, oy int) error {
+func (l *Local) slabForward(parent *obs.Span, slab []complex128, subField *grid.Field, n, k, ox, oy int) error {
 	workers := fft.Workers(l.cfg.Workers)
 	if !l.cfg.Pruned {
 		var ec fft.FirstError
-		fft.ParallelFor(k, workers, func(w, zi int) {
+		fft.ParallelForSpanned(parent, "conv.stageA.worker", k, workers, func(w, zi int) {
 			if ec.Failed() {
 				return
 			}
@@ -334,7 +366,7 @@ func (l *Local) slabForward(slab []complex128, subField *grid.Field, n, k, ox, o
 		return ec.Err()
 	}
 	var ec fft.FirstError
-	fft.ParallelFor(k, workers, func(w, zi int) {
+	fft.ParallelForSpanned(parent, "conv.stageA.worker", k, workers, func(w, zi int) {
 		if ec.Failed() {
 			return
 		}

@@ -1,0 +1,68 @@
+package conv
+
+import (
+	"math/rand"
+	"testing"
+
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+)
+
+func randField(d grid.Dim3, seed int64) *grid.Field {
+	rng := rand.New(rand.NewSource(seed))
+	f := grid.NewField(d)
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	return f
+}
+
+func TestBaselineRealNonCubic(t *testing.T) {
+	// The r2c pipeline only requires even Nx; Ny and Nz may differ (the
+	// Nz≠Ny branch builds a second complex plan) and may be odd or 1.
+	kernel := green.Gaussian{Sigma: 1.5}
+	for _, tc := range []struct {
+		name    string
+		dim     grid.Dim3
+		workers int
+	}{
+		{"ny-ne-nz", grid.Dim3{Nx: 8, Ny: 4, Nz: 16}, 0},
+		{"slab-x-long", grid.Dim3{Nx: 16, Ny: 8, Nz: 4}, 0},
+		{"odd-y-odd-z", grid.Dim3{Nx: 8, Ny: 7, Nz: 5}, 0},
+		{"degenerate-planes", grid.Dim3{Nx: 4, Ny: 1, Nz: 6}, 0},
+		{"parallel-workers", grid.Dim3{Nx: 8, Ny: 6, Nz: 10}, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			f := randField(tc.dim, int64(tc.dim.Nx*100+tc.dim.Ny*10+tc.dim.Nz))
+			want, err := Baseline(f, kernel, tc.workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := BaselineReal(f, kernel, tc.workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r, _ := grid.RelL2(got, want); r > 1e-12 {
+				t.Errorf("dim %v: r2c differs from complex by %g", tc.dim, r)
+			}
+		})
+	}
+}
+
+func TestBaselineRealDeltaIdentity(t *testing.T) {
+	// Convolving with the delta kernel through the half-spectrum pipeline
+	// must return the input unchanged — the Hermitian packing round-trips.
+	for _, d := range []grid.Dim3{
+		{Nx: 8, Ny: 8, Nz: 8},
+		{Nx: 8, Ny: 5, Nz: 3},
+	} {
+		f := randField(d, 42)
+		out, err := BaselineReal(f, green.Delta{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r, _ := grid.RelL2(out, f); r > 1e-12 {
+			t.Errorf("dim %v: delta identity error %g", d, r)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/obs"
 )
 
 // Plan3D performs in-place 3D transforms on a grid.ComplexField by
@@ -14,6 +15,7 @@ type Plan3D struct {
 	dim        grid.Dim3
 	px, py, pz *Plan
 	workers    int
+	trace      *obs.Trace
 }
 
 // NewPlan3D creates a 3D plan for fields of dimensions d. workers ≤ 0
@@ -49,6 +51,12 @@ func NewPlan3D(d grid.Dim3, workers int) (*Plan3D, error) {
 // Dim returns the plan's field dimensions.
 func (p *Plan3D) Dim() grid.Dim3 { return p.dim }
 
+// SetTrace attaches an observability trace: each Forward/Inverse records
+// one span per axis sweep plus per-worker line spans, and accumulates the
+// 5·N·log₂N FLOP model in "fft.flops_model". A nil trace disables
+// recording (the default).
+func (p *Plan3D) SetTrace(t *obs.Trace) { p.trace = t }
+
 // Forward transforms f in place (unnormalized).
 func (p *Plan3D) Forward(f *grid.ComplexField) error { return p.run(f, false) }
 
@@ -73,9 +81,20 @@ func (p *Plan3D) run(f *grid.ComplexField, inverse bool) error {
 		scratch[w] = make([]complex128, maxN)
 	}
 	var ec FirstError
+	dir := "fft3d.forward"
+	if inverse {
+		dir = "fft3d.inverse"
+	}
+	root := p.trace.Start(dir)
+	defer root.End()
+	p.trace.Counter("fft.flops_model").Add(
+		int64(d.Ny*d.Nz)*obs.FFTFlops(d.Nx) +
+			int64(d.Nx*d.Nz)*obs.FFTFlops(d.Ny) +
+			int64(d.Nx*d.Ny)*obs.FFTFlops(d.Nz))
 
 	// X axis: contiguous lines, one per (y, z).
-	ParallelFor(d.Ny*d.Nz, p.workers, func(w, i int) {
+	ax := root.Start(dir + ".x")
+	ParallelForSpanned(ax, dir+".x.worker", d.Ny*d.Nz, p.workers, func(w, i int) {
 		base := i * d.Nx
 		line := data[base : base+d.Nx]
 		if inverse {
@@ -84,11 +103,13 @@ func (p *Plan3D) run(f *grid.ComplexField, inverse bool) error {
 			ec.Record(p.px.Forward(line, line))
 		}
 	})
+	ax.End()
 	if err := ec.Err(); err != nil {
 		return err
 	}
 	// Y axis: stride Nx, one line per (x, z).
-	ParallelFor(d.Nx*d.Nz, p.workers, func(w, i int) {
+	ay := root.Start(dir + ".y")
+	ParallelForSpanned(ay, dir+".y.worker", d.Nx*d.Nz, p.workers, func(w, i int) {
 		x := i % d.Nx
 		z := i / d.Nx
 		off := x + d.Nx*d.Ny*z
@@ -98,17 +119,20 @@ func (p *Plan3D) run(f *grid.ComplexField, inverse bool) error {
 			ec.Record(p.py.ForwardStrided(data, off, d.Nx, scratch[w]))
 		}
 	})
+	ay.End()
 	if err := ec.Err(); err != nil {
 		return err
 	}
 	// Z axis: stride Nx·Ny, one line per (x, y).
-	ParallelFor(d.Nx*d.Ny, p.workers, func(w, i int) {
+	az := root.Start(dir + ".z")
+	ParallelForSpanned(az, dir+".z.worker", d.Nx*d.Ny, p.workers, func(w, i int) {
 		if inverse {
 			ec.Record(p.pz.InverseStrided(data, i, d.Nx*d.Ny, scratch[w]))
 		} else {
 			ec.Record(p.pz.ForwardStrided(data, i, d.Nx*d.Ny, scratch[w]))
 		}
 	})
+	az.End()
 	return ec.Err()
 }
 

@@ -1,0 +1,67 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// FuzzFFTRoundTrip asserts Inverse(Forward(x)) ≈ x for arbitrary lengths —
+// the radix-2 path for powers of two and the Bluestein chirp-z path for
+// everything else (including primes) — with inputs built from fuzzed bytes.
+func FuzzFFTRoundTrip(f *testing.F) {
+	f.Add(8, []byte{1, 2, 3, 4})          // radix-2
+	f.Add(7, []byte{0xff, 0x00, 0x7f})    // Bluestein prime
+	f.Add(13, []byte{9, 9, 9, 9, 9, 9})   // Bluestein prime
+	f.Add(1, []byte{42})                  // degenerate length
+	f.Add(12, []byte{5, 4, 3, 2, 1, 0})   // composite non-pow2
+	f.Add(64, []byte{})                   // zero input, larger pow2
+	f.Add(31, []byte{128, 64, 32, 16, 8}) // Mersenne prime
+	f.Add(100, []byte{1, 1, 2, 3, 5, 8, 13})
+
+	f.Fuzz(func(t *testing.T, n int, data []byte) {
+		// Clamp to sane plan sizes; the transform is O(n log n) but the
+		// fuzzer shouldn't burn time on megapoint plans.
+		if n < 1 {
+			n = -n
+		}
+		n = n%512 + 1
+		plan, err := NewPlan(n)
+		if err != nil {
+			t.Fatalf("NewPlan(%d): %v", n, err)
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			var re, im byte
+			if len(data) > 0 {
+				re = data[(2*i)%len(data)]
+				im = data[(2*i+1)%len(data)]
+			}
+			x[i] = complex(float64(re)-128, float64(im)-128)
+		}
+		spec := make([]complex128, n)
+		if err := plan.Forward(spec, x); err != nil {
+			t.Fatalf("Forward(n=%d): %v", n, err)
+		}
+		back := make([]complex128, n)
+		if err := plan.Inverse(back, spec); err != nil {
+			t.Fatalf("Inverse(n=%d): %v", n, err)
+		}
+		// Relative tolerance scaled by input magnitude and n: Bluestein
+		// round-trips through a larger padded transform, so allow a few
+		// ULP-per-log factors beyond machine epsilon.
+		maxIn := 0.0
+		for _, v := range x {
+			if a := cmplx.Abs(v); a > maxIn {
+				maxIn = a
+			}
+		}
+		tol := 1e-9 * (maxIn + 1) * float64(n)
+		for i := range x {
+			if d := cmplx.Abs(back[i] - x[i]); d > tol || math.IsNaN(d) {
+				t.Fatalf("n=%d: round-trip error %g at %d (tol %g): %v vs %v",
+					n, d, i, tol, back[i], x[i])
+			}
+		}
+	})
+}

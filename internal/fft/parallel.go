@@ -3,6 +3,8 @@ package fft
 import (
 	"runtime"
 	"sync"
+
+	"lowcomm3d/internal/obs"
 )
 
 // ParallelFor runs f(i) for i in [0, n) across up to workers goroutines.
@@ -40,6 +42,55 @@ func ParallelFor(n, workers int, f func(w, i int)) {
 			for i := lo; i < hi; i++ {
 				f(w, i)
 			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelForSpanned is ParallelFor with per-worker observability: each
+// worker goroutine's whole chunk is wrapped in an obs span named name on
+// display track w+1 (track 0 stays free for the caller's stage spans), so
+// a Chrome trace shows the worker lanes side by side and any load
+// imbalance is visible as ragged span ends. A nil parent degrades to plain
+// ParallelFor with no recording.
+func ParallelForSpanned(parent *obs.Span, name string, n, workers int, f func(w, i int)) {
+	if parent == nil {
+		ParallelFor(n, workers, f)
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sp := parent.StartTrack(name, 1)
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		sp.End()
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sp := parent.StartTrack(name, w+1)
+			for i := lo; i < hi; i++ {
+				f(w, i)
+			}
+			sp.End()
 		}(w, lo, hi)
 	}
 	wg.Wait()

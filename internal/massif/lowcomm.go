@@ -99,8 +99,14 @@ func SolveLowComm(m *Microstructure, E grid.SymTensor, opt LowCommOptions) (*Low
 	out.Result.Stress = stress
 
 	delta := grid.NewTensorField(m.Dim)
+	iterC := o.Trace.Counter("massif.iterations")
+	sampC := o.Trace.Counter("massif.samples")
+	byteC := o.Trace.Counter("massif.sample_bytes")
 	for iter := 0; iter < o.MaxIter; iter++ {
+		iterSpan := o.Trace.Start("massif.iteration")
+		iterC.Add(1)
 		if _, err := m.StressField(eps, stress); err != nil {
+			iterSpan.End()
 			return nil, err
 		}
 		// Local convolution of every sub-domain (Algorithm 2 lines 3–5),
@@ -114,23 +120,28 @@ func SolveLowComm(m *Microstructure, E grid.SymTensor, opt LowCommOptions) (*Low
 			for v := 0; v < grid.NumVoigt; v++ {
 				sub[v], err = stress.Comp[v].ExtractBox(b)
 				if err != nil {
+					iterSpan.End()
 					return nil, err
 				}
 			}
 			results, nsamp, nbytes, err := locals[i].run(sub)
 			if err != nil {
+				iterSpan.End()
 				return nil, err
 			}
 			iterSamples += nsamp
 			iterBytes += nbytes
 			for v := 0; v < grid.NumVoigt; v++ {
 				if err := results[v].AddTo(delta.Comp[v], 1); err != nil {
+					iterSpan.End()
 					return nil, err
 				}
 			}
 		}
 		out.Comm.SamplesPerIter = iterSamples
 		out.Comm.BytesPerIter = iterBytes
+		sampC.Add(int64(iterSamples))
+		byteC.Add(int64(iterBytes))
 		// Pin the mean strain to E: the exact Δε̂(0) is zero; compression
 		// can drift the mean slightly, so project it out.
 		for v := range delta.Comp {
@@ -157,6 +168,7 @@ func SolveLowComm(m *Microstructure, E grid.SymTensor, opt LowCommOptions) (*Low
 		r := math.Sqrt(delta2) / normE
 		out.Residuals = append(out.Residuals, r)
 		out.Iterations = iter + 1
+		iterSpan.End()
 		if r < o.Tol {
 			out.Converged = true
 			break

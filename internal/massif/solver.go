@@ -7,6 +7,7 @@ import (
 	"lowcomm3d/internal/fft"
 	"lowcomm3d/internal/green"
 	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/obs"
 )
 
 // Options tunes the fixed-point solvers.
@@ -14,6 +15,12 @@ type Options struct {
 	Tol     float64 // convergence threshold on ‖Δε‖/‖E‖ (default 1e-8)
 	MaxIter int     // iteration cap (default 500)
 	Workers int     // FFT parallelism (≤0: GOMAXPROCS)
+
+	// Trace, when non-nil, records one "massif.iteration" span per solver
+	// iteration plus the "massif.iterations" counter; the reference solver
+	// also propagates it into its 3D FFT plan (axis sweeps and worker
+	// lanes). Nil disables recording.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +60,7 @@ func SolveReference(m *Microstructure, E grid.SymTensor, opt Options) (*Result, 
 	if err != nil {
 		return nil, err
 	}
+	plan.SetTrace(opt.Trace)
 	lambda0, mu0 := m.ReferenceMedium()
 	gamma := green.Gamma{Lambda0: lambda0, Mu0: mu0}
 
@@ -71,8 +79,12 @@ func SolveReference(m *Microstructure, E grid.SymTensor, opt Options) (*Result, 
 		return nil, fmt.Errorf("massif: applied strain must be nonzero")
 	}
 
+	iterC := opt.Trace.Counter("massif.iterations")
 	for iter := 0; iter < opt.MaxIter; iter++ {
+		iterSpan := opt.Trace.Start("massif.iteration")
+		iterC.Add(1)
 		if _, err := m.StressField(eps, stress); err != nil {
+			iterSpan.End()
 			return nil, err
 		}
 		// Forward FFT of all six stress components (Algorithm 1 step 2).
@@ -81,6 +93,7 @@ func SolveReference(m *Microstructure, E grid.SymTensor, opt Options) (*Result, 
 				spectra[v].Data[i] = complex(s, 0)
 			}
 			if err := plan.Forward(spectra[v]); err != nil {
+				iterSpan.End()
 				return nil, err
 			}
 		}
@@ -90,6 +103,7 @@ func SolveReference(m *Microstructure, E grid.SymTensor, opt Options) (*Result, 
 		// Inverse FFT of the strain correction (step 5).
 		for v := 0; v < grid.NumVoigt; v++ {
 			if err := plan.Inverse(spectra[v]); err != nil {
+				iterSpan.End()
 				return nil, err
 			}
 		}
@@ -110,6 +124,7 @@ func SolveReference(m *Microstructure, E grid.SymTensor, opt Options) (*Result, 
 		r := math.Sqrt(delta2) / normE
 		res.Residuals = append(res.Residuals, r)
 		res.Iterations = iter + 1
+		iterSpan.End()
 		if r < opt.Tol {
 			res.Converged = true
 			break

@@ -40,6 +40,13 @@ func DecodeMeta(n int, meta []int32, totalSamples int) (*Tree, error) {
 	if len(meta)%IntsPerCell != 0 {
 		return nil, fmt.Errorf("octree: metadata length %d not a multiple of %d", len(meta), IntsPerCell)
 	}
+	// Bound the total before any per-cell arithmetic: icbrt on a count near
+	// int64 max overflows its cube and the bound keeps hostile (fuzzed)
+	// metadata from near-unbounded loops. 2⁴⁵ samples is 256 TiB of float64
+	// payload — far beyond any stream this decoder will legitimately see.
+	if totalSamples < 0 || totalSamples > 1<<45 {
+		return nil, fmt.Errorf("octree: implausible total sample count %d", totalSamples)
+	}
 	nc := len(meta) / IntsPerCell
 	t := &Tree{Dim: grid.Cube(n)}
 	for i := 0; i < nc; i++ {
@@ -69,6 +76,12 @@ func DecodeMeta(n int, meta []int32, totalSamples int) (*Tree, error) {
 		c.Box.Lo = grid.Point{int(m[0]), int(m[1]), int(m[2])}
 		c.Box.Hi = grid.Point{c.Box.Lo[0] + size, c.Box.Lo[1] + size, c.Box.Lo[2] + size}
 		t.Cells = append(t.Cells, c)
+	}
+	// The per-cell counts are cumulative differences, so they only sum to
+	// totalSamples if the first cell's cumulative count is 0 and at least
+	// one cell exists; a forged header can violate either.
+	if got := t.SampleCount(); got != totalSamples {
+		return nil, fmt.Errorf("octree: metadata accounts for %d samples, header says %d", got, totalSamples)
 	}
 	return t, nil
 }

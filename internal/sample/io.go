@@ -108,9 +108,18 @@ func ReadCompressed(r io.Reader) (*Compressed, error) {
 	if sampleCount > 1<<40 {
 		return nil, fmt.Errorf("sample: implausible sample count %d", sampleCount)
 	}
-	meta := make([]int32, octree.IntsPerCell*cells)
-	if err := binary.Read(br, binary.LittleEndian, meta); err != nil {
-		return nil, fmt.Errorf("sample: reading metadata: %w", err)
+	// Read metadata in bounded chunks: the cell count is attacker-controlled
+	// (up to 2²⁸ → a 5.4 GB upfront allocation), so allocate only as data
+	// actually arrives — a lying header fails at EOF after one chunk.
+	meta := make([]int32, 0, minInt(octree.IntsPerCell*cells, ioChunk))
+	for remaining := octree.IntsPerCell * cells; remaining > 0; {
+		chunk := minInt(remaining, ioChunk)
+		buf := make([]int32, chunk)
+		if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+			return nil, fmt.Errorf("sample: reading metadata: %w", err)
+		}
+		meta = append(meta, buf...)
+		remaining -= chunk
 	}
 	tree, err := octree.DecodeMeta(n, meta, int(sampleCount))
 	if err != nil {
@@ -122,17 +131,44 @@ func ReadCompressed(r io.Reader) (*Compressed, error) {
 	if tree.SampleCount() != int(sampleCount) {
 		return nil, fmt.Errorf("sample: tree needs %d samples, file has %d", tree.SampleCount(), sampleCount)
 	}
-	samples := make([]float64, sampleCount)
+	// Same chunked discipline for the payload: a structurally valid octree
+	// in a 2²⁰ grid can legitimately demand ~2⁴⁰ samples, so sizing the
+	// slice from the header alone is an 8 TB allocation a 60-byte forged
+	// stream could trigger. Growth is bounded by bytes actually received.
+	samples := make([]float64, 0, minInt(int(sampleCount), ioChunk))
 	if header[1] == ioVersion32 {
-		s32 := make([]float32, sampleCount)
-		if err := binary.Read(br, binary.LittleEndian, s32); err != nil {
-			return nil, fmt.Errorf("sample: reading samples: %w", err)
+		for remaining := int(sampleCount); remaining > 0; {
+			chunk := minInt(remaining, ioChunk)
+			s32 := make([]float32, chunk)
+			if err := binary.Read(br, binary.LittleEndian, s32); err != nil {
+				return nil, fmt.Errorf("sample: reading samples: %w", err)
+			}
+			for _, v := range s32 {
+				samples = append(samples, float64(v))
+			}
+			remaining -= chunk
 		}
-		for i, v := range s32 {
-			samples[i] = float64(v)
+	} else {
+		for remaining := int(sampleCount); remaining > 0; {
+			chunk := minInt(remaining, ioChunk)
+			buf := make([]float64, chunk)
+			if err := binary.Read(br, binary.LittleEndian, buf); err != nil {
+				return nil, fmt.Errorf("sample: reading samples: %w", err)
+			}
+			samples = append(samples, buf...)
+			remaining -= chunk
 		}
-	} else if err := binary.Read(br, binary.LittleEndian, samples); err != nil {
-		return nil, fmt.Errorf("sample: reading samples: %w", err)
 	}
 	return &Compressed{Tree: tree, Samples: samples}, nil
+}
+
+// ioChunk bounds per-read allocations while deserializing untrusted
+// streams (64Ki elements: 512 KiB of float64 at a time).
+const ioChunk = 1 << 16
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
