@@ -19,7 +19,7 @@ test:
 # Benchmarks across every package, with the parsed results captured as
 # JSON (cmd/benchjson) for cross-PR regression tracking.
 bench:
-	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR2.json
+	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR3.json
 
 # 10s smoke of each fuzz target against the committed seed corpora; the
 # full 30s runs are part of the PR acceptance checklist.
@@ -27,3 +27,4 @@ fuzz-smoke:
 	go test ./internal/fft/ -fuzz=FuzzFFTRoundTrip -fuzztime=10s -fuzzminimizetime=5x
 	go test ./internal/octree/ -fuzz=FuzzOctreeMetaCodec -fuzztime=10s -fuzzminimizetime=5x
 	go test ./internal/sample/ -fuzz=FuzzCompressedIO -fuzztime=10s -fuzzminimizetime=5x
+	go test ./internal/ckpt/ -fuzz=FuzzCheckpointCodec -fuzztime=10s -fuzzminimizetime=5x

@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"strconv"
 
+	"lowcomm3d/internal/ckpt"
 	"lowcomm3d/internal/grid"
 	"lowcomm3d/internal/octree"
 	"lowcomm3d/internal/sample"
@@ -113,6 +114,38 @@ func main() {
 	lying := bytes.Clone(v64.Bytes())
 	binary.LittleEndian.PutUint64(lying[16:], 1<<39) // forge a huge sample count
 	writeSeed(smpDir, "seed-lying-count", lying)
+
+	// FuzzCheckpointCodec(data []byte)
+	ckptDir := filepath.Join("internal", "ckpt", "testdata", "fuzz", "FuzzCheckpointCodec")
+	snap := &ckpt.Snapshot{Worker: 2, Iter: 5, Strain: make([][][]float64, 3)}
+	for b := range snap.Strain {
+		snap.Strain[b] = make([][]float64, grid.NumVoigt)
+		for v := range snap.Strain[b] {
+			data := make([]float64, 8)
+			for i := range data {
+				data[i] = float64(b*100+v*10+i) * 0.125
+			}
+			snap.Strain[b][v] = data
+		}
+	}
+	var ck bytes.Buffer
+	if _, err := ckpt.WriteSnapshot(&ck, snap); err != nil {
+		log.Fatal(err)
+	}
+	writeSeed(ckptDir, "seed-genuine", ck.Bytes())
+	writeSeed(ckptDir, "seed-truncated-header", ck.Bytes()[:22])
+	writeSeed(ckptDir, "seed-truncated-payload", ck.Bytes()[:ck.Len()-5])
+	// Header layout: magic(4) version(4) worker(4) iter(4) boxes(4)
+	// comps(4) perBox(8) crc(8), then the float64 payload.
+	lyingBoxes := bytes.Clone(ck.Bytes())
+	binary.LittleEndian.PutUint32(lyingBoxes[16:], 1<<19) // claim far more boxes than the payload holds
+	writeSeed(ckptDir, "seed-lying-boxes", lyingBoxes)
+	hugePerBox := bytes.Clone(ck.Bytes())
+	binary.LittleEndian.PutUint64(hugePerBox[24:], 1<<26) // forge a near-cap per-box count
+	writeSeed(ckptDir, "seed-huge-perbox", hugePerBox)
+	badCRC := bytes.Clone(ck.Bytes())
+	binary.LittleEndian.PutUint64(badCRC[32:], 0xdeadbeefdeadbeef)
+	writeSeed(ckptDir, "seed-bad-crc", badCRC)
 
 	fmt.Println("seed corpora written under internal/*/testdata/fuzz/")
 }

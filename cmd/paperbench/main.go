@@ -11,6 +11,7 @@
 //	paperbench -measure      §5.3: measured approximation error & compression (pure Go)
 //	paperbench -massif       measured MASSIF per-iteration communication, Alg. 1 vs Alg. 2
 //	paperbench -faults       fault-injection study: lossy-fabric convolution + crashed MASSIF solve
+//	paperbench -chaos        self-healing study: crash/straggler/OOM schedules against the healing solve
 //	paperbench -all          everything above
 package main
 
@@ -20,8 +21,10 @@ import (
 	"log"
 	"math"
 	"os"
+	"path/filepath"
 	"time"
 
+	"lowcomm3d/internal/ckpt"
 	"lowcomm3d/internal/cluster"
 	"lowcomm3d/internal/conv"
 	"lowcomm3d/internal/gpu"
@@ -31,6 +34,7 @@ import (
 	"lowcomm3d/internal/obs"
 	"lowcomm3d/internal/report"
 	"lowcomm3d/internal/sample"
+	"lowcomm3d/internal/supervise"
 )
 
 func main() {
@@ -43,11 +47,14 @@ func main() {
 		measure = flag.Bool("measure", false, "measured error/compression at pure-Go scales")
 		massifC = flag.Bool("massif", false, "measured MASSIF per-iteration communication, Alg. 1 vs Alg. 2")
 		faults  = flag.Bool("faults", false, "fault-injection study: lossy-fabric convolution + crashed MASSIF solve")
+		chaos   = flag.Bool("chaos", false, "self-healing study: crash/straggler/OOM schedules against the healing solve")
 		fleet   = flag.Bool("fleet", false, "DGX-2 batch-throughput model (§5.1 batching claim)")
 		sweep   = flag.Bool("sweep", false, "measured accuracy/compression tradeoff across far rates (§5.4)")
 		all     = flag.Bool("all", false, "run everything")
 		traceTo = flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto JSON) of the run to this file")
 	)
+	flag.StringVar(&ckptDir, "ckpt-dir", "",
+		"durable checkpoint directory for the -chaos study (default: a fresh directory under the OS temp dir)")
 	flag.Parse()
 	if *traceTo != "" {
 		tr = obs.New()
@@ -74,6 +81,7 @@ func main() {
 	run(*measure, measured)
 	run(*massifC, massifComm)
 	run(*faults, faultStudy)
+	run(*chaos, chaosStudy)
 	run(*fleet, fleetStudy)
 	run(*sweep, rateSweep)
 	if !ran {
@@ -533,6 +541,201 @@ func faultStudy() error {
 		fmt.Sprint(dist.Converged), fmt.Sprint(dist.Fault.Restarts),
 		fmt.Sprint(dist.Fault.Dead), fmt.Sprintf("%.4f", rel))
 	t2.Render(os.Stdout)
+	return nil
+}
+
+// ckptDir is where the -chaos study keeps its durable checkpoints
+// (-ckpt-dir flag); empty selects a fresh OS temp directory.
+var ckptDir string
+
+func chaosStudy() error {
+	// The self-healing solve under seeded chaos: worker crashes (including
+	// rank 0) respawn from durable checkpoints with zero frozen
+	// sub-domains, an injected straggler is speculatively re-executed by
+	// an idle peer, and an OOM-constrained fleet auto-refines k instead of
+	// failing. The same problem as the -faults crash study so degraded and
+	// healed solves compare directly.
+	base := ckptDir
+	if base == "" {
+		d, err := os.MkdirTemp("", "paperbench-chaos-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(d)
+		base = d
+	}
+	l1, m1 := green.LameFromENu(210, 0.3)
+	l2, m2 := green.LameFromENu(70, 0.3)
+	mst, err := massif.NewMicrostructure(grid.Cube(16),
+		massif.Phase{Lambda: l1, Mu: m1}, massif.Phase{Lambda: l2, Mu: m2})
+	if err != nil {
+		return err
+	}
+	if err := mst.SetSphere(grid.Point{4, 4, 4}, 2, 1); err != nil {
+		return err
+	}
+	E := grid.SymTensor{0.01, 0, 0, 0, 0, 0.002}
+	opt := massif.LowCommOptions{
+		Options: massif.Options{Tol: 1e-4, MaxIter: 40, Trace: tr},
+		SubSize: 8, FullRes: true, Pruned: true,
+	}
+	serial, err := massif.SolveLowComm(mst, E, opt)
+	if err != nil {
+		return err
+	}
+
+	t := report.New("Self-healing MASSIF under seeded chaos — N=16 k=8, crashes respawn from durable checkpoints",
+		"schedule", "P", "generations", "respawned", "spec wins", "k refine", "ckpt bytes", "converged", "rel L2 vs serial")
+	addRow := func(name string, p int, res *massif.LowCommResult) error {
+		rel, err := grid.RelL2Tensor(res.Strain, serial.Strain)
+		if err != nil {
+			return err
+		}
+		h := res.Heal
+		t.AddCells(name, fmt.Sprint(p), fmt.Sprint(h.Generations),
+			fmt.Sprint(h.Respawned), fmt.Sprint(h.SpeculativeWins),
+			fmt.Sprintf("k=%d (%d)", h.SubSize, h.KRefinements),
+			report.Bytes(h.CheckpointBytes), fmt.Sprint(res.Converged),
+			fmt.Sprintf("%.4f", rel))
+		return nil
+	}
+	healTrace := func() *obs.Trace {
+		if tr != nil {
+			return tr
+		}
+		return obs.New()
+	}
+
+	for _, sc := range []struct {
+		name    string
+		p       int
+		crashes []cluster.CrashPoint
+	}{
+		{"crash worker 1, iter 1", 2, []cluster.CrashPoint{{Worker: 1, Op: 3}}},
+		{"crash root, then worker 2", 4, []cluster.CrashPoint{{Worker: 0, Op: 5}, {Worker: 2, Op: 9}}},
+		{"crash workers 3 and 5", 7, []cluster.CrashPoint{{Worker: 3, Op: 3}, {Worker: 5, Op: 9}}},
+	} {
+		store, err := ckpt.NewStore(filepath.Join(base, fmt.Sprintf("p%d", sc.p)), healTrace())
+		if err != nil {
+			return err
+		}
+		inj := cluster.NewFaultInjector(cluster.FaultPlan{Seed: 7, Crashes: sc.crashes})
+		c, err := cluster.NewWithOptions(sc.p, cluster.DefaultParams(), cluster.Options{
+			RecvTimeout: 50 * time.Millisecond,
+			RetryBudget: 4,
+			Transport:   inj,
+			Trace:       tr,
+		})
+		if err != nil {
+			return err
+		}
+		hopt := opt
+		hopt.Heal = &massif.HealOptions{
+			Store:     store,
+			Supervise: supervise.Options{Trace: healTrace()},
+		}
+		res, err := massif.SolveLowCommDistributed(c, mst, E, hopt)
+		if err != nil {
+			return err
+		}
+		if err := addRow(sc.name, sc.p, res); err != nil {
+			return err
+		}
+	}
+
+	// Straggler schedule: a deterministic 1.5s sleep on worker 1; the
+	// idle peer re-executes its sub-domains from the durable checkpoint.
+	var schedule *supervise.ChaosSchedule
+	for seed := uint64(1); seed < 10000; seed++ {
+		cs := &supervise.ChaosSchedule{Seed: seed, StraggleProb: 0.25, StraggleDelay: 1500 * time.Millisecond}
+		hits, ok := 0, true
+		for it := 0; it < 6 && ok; it++ {
+			if cs.Delay(0, it) > 0 {
+				ok = false
+			}
+			if cs.Delay(1, it) > 0 {
+				if it < 2 {
+					ok = false
+				}
+				hits++
+			}
+		}
+		if ok && hits == 1 {
+			schedule = cs
+			break
+		}
+	}
+	store, err := ckpt.NewStore(filepath.Join(base, "straggler"), healTrace())
+	if err != nil {
+		return err
+	}
+	c, err := cluster.NewWithOptions(2, cluster.DefaultParams(), cluster.Options{
+		RecvTimeout: 500 * time.Millisecond,
+		RetryBudget: 4,
+		Trace:       tr,
+	})
+	if err != nil {
+		return err
+	}
+	sopt := opt
+	sopt.MaxIter = 6
+	sopt.Tol = 1e-9
+	sopt.FullRes = false
+	sopt.FarRate = 4
+	sopt.Heal = &massif.HealOptions{
+		Store:     store,
+		Chaos:     schedule,
+		Supervise: supervise.Options{Trace: healTrace()},
+	}
+	res, err := massif.SolveLowCommDistributed(c, mst, E, sopt)
+	if err != nil {
+		return err
+	}
+	if err := addRow("straggle worker 1 by 1.5s", 2, res); err != nil {
+		return err
+	}
+
+	// OOM schedule: V100-16GB fleet pre-filled so the k=8 plan does not
+	// fit but the k=4 plan does — admission refines instead of failing.
+	oopt := opt
+	oopt.MaxIter = 6
+	oopt.FullRes = false
+	oopt.FarRate = 4
+	charge8 := massif.HealWorkerBytes(mst.Dim, 2, oopt)
+	o4 := oopt
+	o4.SubSize = 4
+	charge4 := massif.HealWorkerBytes(mst.Dim, 2, o4)
+	free := charge4 + (charge8-charge4)/2
+	devs := make([]*gpu.Device, 2)
+	for i := range devs {
+		d := gpu.V100_16GB()
+		if _, err := d.Alloc(d.Capacity - free); err != nil {
+			return err
+		}
+		devs[i] = d
+	}
+	store, err = ckpt.NewStore(filepath.Join(base, "oom"), healTrace())
+	if err != nil {
+		return err
+	}
+	c, err = cluster.NewWithOptions(2, cluster.DefaultParams(), cluster.Options{Trace: tr})
+	if err != nil {
+		return err
+	}
+	oopt.Heal = &massif.HealOptions{
+		Store:     store,
+		Devices:   devs,
+		Supervise: supervise.Options{Trace: healTrace()},
+	}
+	res, err = massif.SolveLowCommDistributed(c, mst, E, oopt)
+	if err != nil {
+		return err
+	}
+	if err := addRow("OOM fleet, auto-refine k", 2, res); err != nil {
+		return err
+	}
+	t.Render(os.Stdout)
+	fmt.Printf("\ndurable checkpoints under %s (override with -ckpt-dir)\n", base)
 	return nil
 }
 

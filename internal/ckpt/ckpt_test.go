@@ -1,0 +1,246 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/obs"
+	"lowcomm3d/internal/sample"
+)
+
+// readMem records (TotalAlloc, Mallocs) so tests can bound how much a
+// decoder call allocated, independent of what the GC has since reclaimed.
+func readMem(m *[2]uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	m[0], m[1] = ms.TotalAlloc, ms.Mallocs
+}
+
+func testSnapshot(worker, iter, boxes, perBox int) *Snapshot {
+	s := &Snapshot{Worker: worker, Iter: iter, Strain: make([][][]float64, boxes)}
+	for b := range s.Strain {
+		s.Strain[b] = make([][]float64, grid.NumVoigt)
+		for v := range s.Strain[b] {
+			data := make([]float64, perBox)
+			for i := range data {
+				data[i] = float64(b)*100 + float64(v)*10 + float64(i)*0.25
+			}
+			s.Strain[b][v] = data
+		}
+	}
+	return s
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := testSnapshot(3, 17, 4, 64)
+	var buf bytes.Buffer
+	n, err := WriteSnapshot(&buf, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteSnapshot reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Worker != want.Worker || got.Iter != want.Iter {
+		t.Errorf("header (%d,%d), want (%d,%d)", got.Worker, got.Iter, want.Worker, want.Iter)
+	}
+	if len(got.Strain) != len(want.Strain) {
+		t.Fatalf("boxes %d, want %d", len(got.Strain), len(want.Strain))
+	}
+	for b := range want.Strain {
+		for v := range want.Strain[b] {
+			for i, x := range want.Strain[b][v] {
+				if got.Strain[b][v][i] != x {
+					t.Fatalf("strain[%d][%d][%d] = %g, want %g", b, v, i, got.Strain[b][v][i], x)
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteSnapshot(&buf, testSnapshot(0, 5, 2, 27)); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+
+	t.Run("flipped payload bit", func(t *testing.T) {
+		bad := bytes.Clone(clean)
+		bad[len(bad)-3] ^= 0x40
+		if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil || !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("corrupted payload accepted (err=%v)", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := ReadSnapshot(bytes.NewReader(clean[:len(clean)-5])); err == nil {
+			t.Fatal("truncated stream accepted")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := bytes.Clone(clean)
+		bad[0] ^= 0xff
+		if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+	t.Run("future version", func(t *testing.T) {
+		bad := bytes.Clone(clean)
+		binary.LittleEndian.PutUint32(bad[4:], 99)
+		if _, err := ReadSnapshot(bytes.NewReader(bad)); err == nil {
+			t.Fatal("unknown version accepted")
+		}
+	})
+}
+
+// TestForgedHeaderNoLargeAllocation pins the bounded-decoder contract: a
+// 40-byte stream claiming a maximal payload must fail fast at EOF without
+// allocating anything near the claimed size.
+func TestForgedHeaderNoLargeAllocation(t *testing.T) {
+	var buf bytes.Buffer
+	for _, h := range []uint32{magic, version, 0, 0, maxBoxes, maxComps} {
+		binary.Write(&buf, binary.LittleEndian, h)
+	}
+	binary.Write(&buf, binary.LittleEndian, uint64(maxPerBox)) // claims ~2⁵⁵ values
+	binary.Write(&buf, binary.LittleEndian, uint64(0))         // bogus CRC
+	var before, after [2]uint64
+	readMem(&before)
+	if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("forged header accepted")
+	}
+	readMem(&after)
+	if grew := after[0] - before[0]; grew > 64<<20 {
+		t.Errorf("forged header allocated %d bytes; decoder must stay chunk-bounded", grew)
+	}
+	// Out-of-range counts must be rejected before any payload read.
+	var buf2 bytes.Buffer
+	for _, h := range []uint32{magic, version, 0, 0, 1 << 30, 1} {
+		binary.Write(&buf2, binary.LittleEndian, h)
+	}
+	binary.Write(&buf2, binary.LittleEndian, uint64(1))
+	binary.Write(&buf2, binary.LittleEndian, uint64(0))
+	if _, err := ReadSnapshot(bytes.NewReader(buf2.Bytes())); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("oversized box count not rejected by bounds check (err=%v)", err)
+	}
+}
+
+func TestStoreSaveLoadStrain(t *testing.T) {
+	tr := obs.New()
+	st, err := NewStore(t.TempDir(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap, err := st.LoadStrain(7); err != nil || snap != nil {
+		t.Fatalf("missing checkpoint: got (%v, %v), want (nil, nil)", snap, err)
+	}
+	first := testSnapshot(7, 2, 3, 8)
+	if err := st.SaveStrain(first); err != nil {
+		t.Fatal(err)
+	}
+	// Replacement is atomic: the second save supersedes the first entirely.
+	second := testSnapshot(7, 9, 3, 8)
+	second.Strain[1][2][3] = -42
+	if err := st.SaveStrain(second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadStrain(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter != 9 || got.Strain[1][2][3] != -42 {
+		t.Errorf("load after replace: iter=%d strain=%g, want 9, -42", got.Iter, got.Strain[1][2][3])
+	}
+	if st.BytesWritten() == 0 || tr.CounterValue("ckpt.saves") != 2 {
+		t.Errorf("obs counters not recorded: bytes=%d saves=%d", st.BytesWritten(), tr.CounterValue("ckpt.saves"))
+	}
+	// No temp-file litter after successful publishes.
+	entries, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestStoreRejectsWorkerMismatch(t *testing.T) {
+	st, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveStrain(testSnapshot(1, 0, 2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a misrouted file: worker 2's slot holding worker 1's data.
+	if err := os.Rename(st.strainPath(1), st.strainPath(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadStrain(2); err == nil {
+		t.Fatal("worker-mismatched checkpoint accepted")
+	}
+}
+
+func TestStoreResultRoundTrip(t *testing.T) {
+	st, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := sample.Uniform{Rate: 2, CellSize: 8}.Tree(grid.Cube(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sample.NewCompressed(tree)
+	for i := range c.Samples {
+		c.Samples[i] = float64(i) * 0.5
+	}
+	if err := st.SaveResult(0, 3, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadResult(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Samples) != len(c.Samples) || got.Samples[5] != c.Samples[5] {
+		t.Errorf("result round trip mismatch: %d samples", len(got.Samples))
+	}
+	if missing, err := st.LoadResult(0, 4); err != nil || missing != nil {
+		t.Errorf("missing result: got (%v, %v), want (nil, nil)", missing, err)
+	}
+}
+
+// TestCrashMidWriteKeepsPriorCheckpoint simulates the crash the atomic
+// discipline exists for: a partial write that never reaches the rename
+// must leave the previous deposit untouched and loadable.
+func TestCrashMidWriteKeepsPriorCheckpoint(t *testing.T) {
+	st, err := NewStore(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveStrain(testSnapshot(0, 4, 2, 8)); err != nil {
+		t.Fatal(err)
+	}
+	// A crashed writer leaves only a torn temp file behind.
+	torn := filepath.Join(st.Dir(), "strain-0000.ckpt.tmp-dead")
+	if err := os.WriteFile(torn, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadStrain(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iter != 4 {
+		t.Errorf("prior checkpoint iter = %d, want 4", got.Iter)
+	}
+}

@@ -298,6 +298,7 @@ type Cluster struct {
 	recvs     [][]*recvState   // recvs[to][from]
 	dead      []atomic.Bool
 	ops       []atomic.Int64 // per-worker top-level op counter (crash points)
+	epoch     atomic.Uint32  // bumped by ResetEpoch; stamps every message
 	agg       collectiveAgg
 }
 
@@ -352,6 +353,52 @@ func (c *Cluster) declareDead(id int) {
 	}
 }
 
+// DeclareDead marks rank dead cluster-wide, exactly as if its peers had
+// exhausted their retry budgets against it. External supervisors (the
+// heartbeat monitor in internal/supervise) use this to fail a silent
+// worker fast instead of waiting for every peer's deadline chain.
+func (c *Cluster) DeclareDead(rank int) {
+	if rank >= 0 && rank < c.P {
+		c.declareDead(rank)
+	}
+}
+
+// Epoch returns the current cluster epoch (bumped by each ResetEpoch).
+func (c *Cluster) Epoch() uint32 { return c.epoch.Load() }
+
+// ResetEpoch prepares the cluster for a respawned generation of workers:
+// it bumps the epoch (so straggling deliveries from the old generation —
+// including delay-injected time.AfterFunc deliveries still in flight —
+// are discarded on receive), clears the dead set, drains every mailbox,
+// and resets the sequence/retransmit state of every pair. Per-worker op
+// counters are deliberately NOT reset: one-shot crash points key on the
+// monotonic op index and must not re-fire on the replacement worker.
+//
+// Contract: call only while no worker goroutines are running (between
+// RunAll rounds); concurrent use with live workers races on the pair
+// state.
+func (c *Cluster) ResetEpoch() {
+	c.epoch.Add(1)
+	for i := 0; i < c.P; i++ {
+		c.dead[i].Store(false)
+		for j := 0; j < c.P; j++ {
+			for {
+				select {
+				case <-c.boxes[i][j]:
+					continue
+				default:
+				}
+				break
+			}
+			c.logs[i][j] = &sendLog{}
+			c.recvs[i][j] = &recvState{stash: make(map[uint64][]float64)}
+		}
+	}
+	c.agg.mu.Lock()
+	c.agg.arrived, c.agg.maxBytes, c.agg.sumBytes = 0, 0, 0
+	c.agg.mu.Unlock()
+}
+
 func (c *Cluster) liveCount() int {
 	n := 0
 	for i := range c.dead {
@@ -396,8 +443,11 @@ func (c *Cluster) maybeFlushCollective() {
 	c.agg.mu.Unlock()
 }
 
-// transmit pushes one attempt through the transport into the mailbox.
+// transmit pushes one attempt through the transport into the mailbox,
+// stamped with the current epoch so post-reset receivers can discard it
+// if it arrives late (delay injection crossing a generation boundary).
 func (c *Cluster) transmit(from, to int, m message, attempt int) {
+	m.epoch = c.epoch.Load()
 	box := c.boxes[to][from]
 	c.transport.Transmit(from, to, m, attempt, func(dm message) {
 		select {
@@ -467,6 +517,7 @@ func (w *Worker) sendRaw(to int, data []float64, timed bool) {
 	log := w.c.logs[w.ID][to]
 	m := log.push(data)
 	if to == w.ID {
+		m.epoch = w.c.epoch.Load()
 		w.c.boxes[to][w.ID] <- m
 		return
 	}
@@ -512,6 +563,9 @@ func (w *Worker) recvRaw(from int, op string) ([]float64, error) {
 		for {
 			select {
 			case m := <-box:
+				if m.epoch != c.epoch.Load() {
+					continue // straggler from a pre-respawn generation
+				}
 				if m.sum != checksum(m.payload) {
 					c.Stats.bumpCorrupt()
 					continue

@@ -7,13 +7,16 @@ import (
 )
 
 // message is one framed unit on the simulated fabric: a sequence number
-// for in-order delivery and deduplication, the payload, and an end-to-end
+// for in-order delivery and deduplication, the payload, an end-to-end
 // checksum so corrupted deliveries are detected (and retried) rather than
-// silently accumulated.
+// silently accumulated, and the cluster epoch it was sent under — a
+// delayed delivery from before a ResetEpoch must not be mistaken for a
+// fresh message by the respawned generation.
 type message struct {
 	seq     uint64
 	payload []float64
 	sum     uint64
+	epoch   uint32
 }
 
 // checksum is FNV-1a over the payload's float bits. Cheap, deterministic,
@@ -71,6 +74,19 @@ type FaultPlan struct {
 	CorruptProb float64       // one payload value is bit-flipped (checksum mismatch)
 	CrashWorker int           // worker that dies, when CrashAtOp > 0
 	CrashAtOp   int           // 1-based top-level op index at which it dies; 0 disables
+
+	// Crashes are one-shot crash points: each fires at most once, so a
+	// respawned replacement worker survives the op index that killed its
+	// predecessor. The legacy CrashWorker/CrashAtOp pair stays sticky
+	// (op >= CrashAtOp keeps firing) for degrade-mode tests that want the
+	// worker to stay down.
+	Crashes []CrashPoint
+}
+
+// CrashPoint schedules one worker death at a 1-based top-level op index.
+type CrashPoint struct {
+	Worker int
+	Op     int
 }
 
 // FaultInjector implements Transport with the seeded fault schedule of a
@@ -81,6 +97,7 @@ type FaultInjector struct {
 	delays   atomic.Int64
 	dups     atomic.Int64
 	corrupts atomic.Int64
+	fired    []atomic.Bool // one flag per plan.Crashes entry
 }
 
 // NewFaultInjector builds the injector for plan.
@@ -88,7 +105,7 @@ func NewFaultInjector(plan FaultPlan) *FaultInjector {
 	if plan.DelayProb > 0 && plan.Delay <= 0 {
 		plan.Delay = time.Millisecond
 	}
-	return &FaultInjector{plan: plan}
+	return &FaultInjector{plan: plan, fired: make([]atomic.Bool, len(plan.Crashes))}
 }
 
 // Injected reports how many faults of each class were injected.
@@ -146,7 +163,18 @@ func (f *FaultInjector) Transmit(from, to int, m message, attempt int, deliver f
 	}
 }
 
-// Crash implements Transport.
+// Crash implements Transport. Legacy CrashWorker/CrashAtOp is sticky; the
+// Crashes list fires each point exactly once (the op counter is monotonic
+// across respawn generations, so a point consumed by one generation never
+// re-kills the replacement).
 func (f *FaultInjector) Crash(worker, op int) bool {
-	return f.plan.CrashAtOp > 0 && worker == f.plan.CrashWorker && op >= f.plan.CrashAtOp
+	if f.plan.CrashAtOp > 0 && worker == f.plan.CrashWorker && op >= f.plan.CrashAtOp {
+		return true
+	}
+	for i, cp := range f.plan.Crashes {
+		if cp.Worker == worker && op >= cp.Op && f.fired[i].CompareAndSwap(false, true) {
+			return true
+		}
+	}
+	return false
 }

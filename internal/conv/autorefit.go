@@ -1,0 +1,46 @@
+package conv
+
+import (
+	"fmt"
+
+	"lowcomm3d/internal/gpu"
+	"lowcomm3d/internal/grid"
+)
+
+// RunAutoRefit runs the decomposed convolution at the largest sub-domain
+// size whose modeled pipeline footprint fits the device: starting from
+// dc.SubSize, the size is halved (never below minK) until the analytic
+// memory model's allocation schedule stays within the device ledger, and
+// the adaptive solve then runs at the admitted size. This is the
+// single-convolution form of the solver's admission control — Table 4's
+// capacity planning applied automatically instead of by hand. The chosen
+// sub-domain size is returned alongside the result.
+func (dc Decomposed) RunAutoRefit(f *grid.Field, d *gpu.Device, minK int) (*grid.Field, DecomposedStats, int, error) {
+	if minK < 1 {
+		minK = 1
+	}
+	n := f.Dim.Nx
+	r := dc.FarRate
+	if r == 0 {
+		r = 16
+	}
+	k := dc.SubSize
+	for {
+		mb, err := gpu.LocalConvMemory(n, k, r)
+		if err != nil {
+			return nil, DecomposedStats{}, 0, err
+		}
+		if ok, _ := mb.FitsOn(d); ok {
+			break
+		}
+		if k/2 < minK {
+			return nil, DecomposedStats{}, 0,
+				fmt.Errorf("conv: no sub-domain size in [%d, %d] fits device %s: %w",
+					minK, dc.SubSize, d.Name, gpu.ErrOutOfMemory)
+		}
+		k /= 2
+	}
+	dc.SubSize = k
+	out, ds, err := dc.RunAdaptive(f, minK)
+	return out, ds, k, err
+}

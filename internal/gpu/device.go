@@ -9,6 +9,7 @@ package gpu
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrOutOfMemory is returned when an allocation exceeds device capacity.
@@ -18,12 +19,16 @@ var ErrOutOfMemory = errors.New("gpu: out of device memory")
 // for a 1024³ double grid is reported as 8 GB).
 const GiB = 1 << 30
 
-// Device is a simulated accelerator with a fixed memory capacity.
+// Device is a simulated accelerator with a fixed memory capacity. The
+// ledger is goroutine-safe: respawned and speculative workers share a
+// fleet, so Alloc/Free race from multiple worker goroutines.
 type Device struct {
 	Name     string
 	Capacity int64
-	used     int64
-	peak     int64
+
+	mu   sync.Mutex
+	used int64
+	peak int64
 }
 
 // V100_16GB and V100_32GB mirror the paper's hardware setup (§4).
@@ -45,6 +50,8 @@ func (d *Device) Alloc(bytes int64) (*Allocation, error) {
 	if bytes < 0 {
 		return nil, fmt.Errorf("gpu: negative allocation %d", bytes)
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.used+bytes > d.Capacity {
 		return nil, fmt.Errorf("%w: need %d, free %d of %d (%s)",
 			ErrOutOfMemory, bytes, d.Capacity-d.used, d.Capacity, d.Name)
@@ -56,20 +63,36 @@ func (d *Device) Alloc(bytes int64) (*Allocation, error) {
 	return &Allocation{dev: d, Bytes: bytes}, nil
 }
 
-// Free releases the allocation; double frees are ignored.
+// Free releases the allocation; double frees are ignored. Free is
+// goroutine-safe with respect to the device ledger, but each Allocation
+// must be freed from one goroutine at a time.
 func (a *Allocation) Free() {
 	if a == nil || a.freed {
 		return
 	}
 	a.freed = true
+	a.dev.mu.Lock()
 	a.dev.used -= a.Bytes
+	a.dev.mu.Unlock()
 }
 
 // Used returns the bytes currently allocated.
-func (d *Device) Used() int64 { return d.used }
+func (d *Device) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
 
 // Peak returns the high-water mark of allocated bytes.
-func (d *Device) Peak() int64 { return d.peak }
+func (d *Device) Peak() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peak
+}
 
 // ResetPeak clears the high-water mark (keeps live allocations).
-func (d *Device) ResetPeak() { d.peak = d.used }
+func (d *Device) ResetPeak() {
+	d.mu.Lock()
+	d.peak = d.used
+	d.mu.Unlock()
+}

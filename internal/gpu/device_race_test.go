@@ -1,0 +1,91 @@
+package gpu
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestDeviceConcurrentAllocFree hammers one device ledger from many
+// goroutines — the respawned-worker fleet-sharing pattern — and checks
+// the ledger balances exactly. Run under -race (make verify does) to pin
+// the mutex guarantee, not just the arithmetic.
+func TestDeviceConcurrentAllocFree(t *testing.T) {
+	d := &Device{Name: "test", Capacity: 1 << 30}
+	const (
+		goroutines = 16
+		rounds     = 200
+		chunkBytes = 1 << 20
+	)
+	var wg sync.WaitGroup
+	var ooms sync.Map
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			live := make([]*Allocation, 0, 8)
+			for i := 0; i < rounds; i++ {
+				a, err := d.Alloc(chunkBytes)
+				if err != nil {
+					if !errors.Is(err, ErrOutOfMemory) {
+						t.Errorf("goroutine %d: %v", g, err)
+						return
+					}
+					ooms.Store(g, true)
+				} else {
+					live = append(live, a)
+				}
+				if len(live) > 4 || (err != nil && len(live) > 0) {
+					live[0].Free()
+					live = live[1:]
+				}
+			}
+			for _, a := range live {
+				a.Free()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := d.Used(); got != 0 {
+		t.Errorf("ledger unbalanced after all frees: used = %d, want 0", got)
+	}
+	if d.Peak() <= 0 || d.Peak() > d.Capacity {
+		t.Errorf("peak = %d, want within (0, %d]", d.Peak(), d.Capacity)
+	}
+	// Double frees stay idempotent under the lock.
+	a, err := d.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Free()
+	a.Free()
+	if d.Used() != 0 {
+		t.Errorf("double free corrupted ledger: used = %d", d.Used())
+	}
+}
+
+// TestDeviceCapacityNeverExceeded checks the invariant that matters for
+// admission control: no interleaving of concurrent allocs pushes the
+// ledger past capacity.
+func TestDeviceCapacityNeverExceeded(t *testing.T) {
+	d := &Device{Name: "tiny", Capacity: 10}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if a, err := d.Alloc(3); err == nil {
+					if u := d.Used(); u > d.Capacity {
+						t.Errorf("used %d exceeds capacity %d", u, d.Capacity)
+					}
+					a.Free()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Peak() > d.Capacity {
+		t.Errorf("peak %d exceeds capacity %d", d.Peak(), d.Capacity)
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"lowcomm3d/internal/cluster"
 	"lowcomm3d/internal/green"
 	"lowcomm3d/internal/grid"
-	"lowcomm3d/internal/octree"
 	"lowcomm3d/internal/sample"
 )
 
@@ -33,6 +32,9 @@ import (
 // recorded in the result's Fault report. A dead root (rank 0) is not
 // survivable — the reduction tree has no other trunk.
 func SolveLowCommDistributed(c *cluster.Cluster, m *Microstructure, E grid.SymTensor, opt LowCommOptions) (*LowCommResult, error) {
+	if opt.Heal != nil {
+		return solveSelfHealing(c, m, E, opt)
+	}
 	o := opt.Options.withDefaults()
 	boxes, err := grid.Decompose(m.Dim, opt.SubSize)
 	if err != nil {
@@ -79,17 +81,7 @@ func SolveLowCommDistributed(c *cluster.Cluster, m *Microstructure, E grid.SymTe
 		}
 		states := make([]*boxState, len(owned))
 		for i, b := range owned {
-			var tree *octree.Tree
-			var err error
-			if opt.FullRes {
-				tree, err = sample.Uniform{Rate: 1, CellSize: min(8, m.Dim.Nx)}.Tree(m.Dim)
-			} else {
-				far := opt.FarRate
-				if far == 0 {
-					far = 16
-				}
-				tree, err = sample.DefaultPolicy(b, far).Tree(m.Dim)
-			}
+			tree, err := boxTree(m, b, opt)
 			if err != nil {
 				return err
 			}
@@ -341,6 +333,7 @@ func SolveLowCommDistributed(c *cluster.Cluster, m *Microstructure, E grid.SymTe
 	}
 	errs := c.RunAll(workerFn)
 	deadRanks := map[int]bool{}
+	var lastDeadErr error
 	for rank, e := range errs {
 		if e == nil {
 			continue
@@ -349,6 +342,7 @@ func SolveLowCommDistributed(c *cluster.Cluster, m *Microstructure, E grid.SymTe
 		var fe *cluster.FaultError
 		if errors.As(e, &ce) || errors.As(e, &fe) {
 			deadRanks[rank] = true
+			lastDeadErr = e
 			continue
 		}
 		return nil, e
@@ -387,7 +381,11 @@ func SolveLowCommDistributed(c *cluster.Cluster, m *Microstructure, E grid.SymTe
 		}
 	}
 	if live < 0 {
-		return nil, fmt.Errorf("massif: no live workers completed the solve")
+		// Every rank died: there is no surviving state worth assembling
+		// into a degraded result. Surface the typed sentinel (wrapping the
+		// last worker failure) so callers can distinguish "total loss" from
+		// "degraded but usable".
+		return nil, &AllDeadError{Workers: c.P, Last: lastDeadErr}
 	}
 	out.Iterations = iterDone[live]
 	out.Converged = converged[live]

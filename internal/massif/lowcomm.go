@@ -19,6 +19,12 @@ type LowCommOptions struct {
 	FullRes bool // rate-1 sampling everywhere: exact mode for validation
 	Pruned  bool // input-pruned z transforms
 	BatchB  int  // pencils per batch (§5.4)
+
+	// Heal switches the distributed solve from degrade-on-fault to
+	// heal-on-fault (supervised respawn from durable checkpoints,
+	// straggler speculation, OOM-driven k-refinement). Nil keeps PR 1's
+	// freeze-and-omit behavior.
+	Heal *HealOptions
 }
 
 // LowCommStats reports the communication the proposed method performs.
@@ -46,6 +52,7 @@ type LowCommResult struct {
 	Result
 	Comm  LowCommStats
 	Fault LowCommFaultReport // zero value on a healthy run
+	Heal  *HealReport        // non-nil only for self-healing solves
 }
 
 // SolveLowComm runs the paper's Algorithm 2: each iteration convolves every
@@ -182,6 +189,20 @@ func SolveLowComm(m *Microstructure, E grid.SymTensor, opt LowCommOptions) (*Low
 	return out, nil
 }
 
+// boxTree builds the sampling tree for one sub-domain under opt: rate-1
+// everywhere in FullRes validation mode, otherwise the default near/far
+// policy at the configured far rate.
+func boxTree(m *Microstructure, b grid.Box, opt LowCommOptions) (*octree.Tree, error) {
+	if opt.FullRes {
+		return sample.Uniform{Rate: 1, CellSize: min(8, m.Dim.Nx)}.Tree(m.Dim)
+	}
+	far := opt.FarRate
+	if far == 0 {
+		far = 16
+	}
+	return sample.DefaultPolicy(b, far).Tree(m.Dim)
+}
+
 // tensorLocal is the tensor-valued analogue of conv.Local: six slabs (one
 // per Voigt component), a batched z-pencil stage that applies the Γ̂
 // contraction across components per frequency point, and octree-sampled
@@ -201,6 +222,17 @@ type tensorLocal struct {
 	// Reused per-run buffers (run is not safe for concurrent use).
 	slabBufs  [][]complex128
 	planeBufs [][]complex128
+}
+
+// releaseBuffers drops the reused slab/plane buffers so a worker that
+// streams its boxes one pipeline at a time holds only ONE set of live
+// slabs between runs. This is what makes k-refinement genuinely reduce a
+// worker's ledgered footprint: slabs scale as N²k per pipeline, so
+// holding all pipelines simultaneously would grow total memory as k
+// shrinks (more boxes), while the streamed peak shrinks with k.
+func (t *tensorLocal) releaseBuffers() {
+	t.slabBufs = nil
+	t.planeBufs = nil
 }
 
 type tlGather struct {
