@@ -1,4 +1,11 @@
-.PHONY: verify build test bench fuzz-smoke
+.PHONY: verify build test bench bench-diff fuzz-smoke
+
+# Where `make bench` writes its benchjson report. Override per PR:
+#   make bench BENCH_OUT=BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR4.json
+
+# Baseline the bench-diff gate compares against.
+BENCH_BASE ?= BENCH_PR4.json
 
 # The gate for every change: static checks, full build, and the complete
 # test suite under the race detector (the fault-tolerant transport is
@@ -19,7 +26,13 @@ test:
 # Benchmarks across every package, with the parsed results captured as
 # JSON (cmd/benchjson) for cross-PR regression tracking.
 bench:
-	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o BENCH_PR3.json
+	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o $(BENCH_OUT)
+
+# Compare a fresh bench run against the committed baseline and fail on
+# regression (cmd/benchdiff). CI runs a coarse version of this gate.
+bench-diff:
+	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o /tmp/bench-new.json
+	go run ./cmd/benchdiff -base $(BENCH_BASE) -new /tmp/bench-new.json -tol 0.5 -allocs-slack 8
 
 # 10s smoke of each fuzz target against the committed seed corpora; the
 # full 30s runs are part of the PR acceptance checklist.

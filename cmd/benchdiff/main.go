@@ -1,0 +1,180 @@
+// Command benchdiff compares two benchjson reports metric-by-metric and
+// fails when the new report regresses beyond tolerance — the bench
+// regression gate CI runs against the committed baseline.
+//
+//	benchdiff -base BENCH_PR3.json -new BENCH_PR4.json -tol 0.25
+//
+// Relative metrics (ns/op, B/op, and any custom ReportMetric unit) fail
+// when new > base·(1+tol). allocs/op is held to a hard absolute slack
+// instead (-allocs-slack, default 0): timing noise never changes an
+// allocation count, so a drift there is a real code change. Benchmarks
+// present in only one report are listed; -strict turns a benchmark
+// missing from the NEW report into a failure (a deleted benchmark can
+// hide a regression).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// Result and Report mirror cmd/benchjson's JSON schema.
+type Result struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+	Failed     []string `json:"failed_packages,omitempty"`
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// key identifies one benchmark across reports. Pkg+Name; the -P procs
+// suffix is part of neither (benchjson already split it off), so the same
+// benchmark compares across machines with different core counts.
+func key(r Result) string { return r.Pkg + "." + r.Name }
+
+type finding struct {
+	bench, metric string
+	base, new     float64
+	rel           float64 // (new-base)/base, 0 for absolute checks
+	hard          bool    // allocs/op absolute check
+}
+
+func (f finding) String() string {
+	if f.hard {
+		return fmt.Sprintf("FAIL %s %s: %g -> %g (hard allocation gate)", f.bench, f.metric, f.base, f.new)
+	}
+	return fmt.Sprintf("FAIL %s %s: %g -> %g (%+.1f%%)", f.bench, f.metric, f.base, f.new, 100*f.rel)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	var (
+		basePath    = flag.String("base", "", "baseline benchjson report (required)")
+		newPath     = flag.String("new", "", "candidate benchjson report (required)")
+		tol         = flag.Float64("tol", 0.25, "allowed relative increase for timing/size metrics (0.25 = +25%)")
+		allocsSlack = flag.Float64("allocs-slack", 0, "allowed absolute increase in allocs/op before hard-failing")
+		strict      = flag.Bool("strict", false, "fail when a baseline benchmark is missing from the new report")
+	)
+	flag.Parse()
+	if *basePath == "" || *newPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cand, err := load(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	findings, missing, added := diff(base, cand, *tol, *allocsSlack)
+
+	for _, m := range missing {
+		fmt.Printf("missing from %s: %s\n", *newPath, m)
+	}
+	for _, a := range added {
+		fmt.Printf("new benchmark: %s\n", a)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	compared := 0
+	for _, b := range base.Benchmarks {
+		if _, ok := index(cand)[key(b)]; ok {
+			compared++
+		}
+	}
+	fmt.Printf("compared %d benchmarks, %d regressions, %d missing, %d added (tol %+.0f%%, allocs slack %g)\n",
+		compared, len(findings), len(missing), len(added), 100**tol, *allocsSlack)
+	if len(findings) > 0 || (*strict && len(missing) > 0) {
+		os.Exit(1)
+	}
+}
+
+func index(rep *Report) map[string]Result {
+	m := make(map[string]Result, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		m[key(b)] = b
+	}
+	return m
+}
+
+// diff compares every baseline benchmark that also exists in the candidate
+// report. Returned findings are sorted by benchmark then metric.
+func diff(base, cand *Report, tol, allocsSlack float64) (findings []finding, missing, added []string) {
+	cIdx := index(cand)
+	bIdx := index(base)
+	for _, b := range base.Benchmarks {
+		c, ok := cIdx[key(b)]
+		if !ok {
+			missing = append(missing, key(b))
+			continue
+		}
+		metrics := make([]string, 0, len(b.Metrics))
+		for name := range b.Metrics {
+			metrics = append(metrics, name)
+		}
+		sort.Strings(metrics)
+		for _, name := range metrics {
+			bv := b.Metrics[name]
+			cv, ok := c.Metrics[name]
+			if !ok {
+				continue // metric not captured in the candidate run
+			}
+			if name == "allocs/op" {
+				if cv > bv+allocsSlack {
+					findings = append(findings, finding{bench: key(b), metric: name, base: bv, new: cv, hard: true})
+				}
+				continue
+			}
+			// Relative gate; tiny baselines (sub-ns, zero B/op) are all
+			// noise, skip them rather than fail on 0 → 1.
+			if bv <= 0 {
+				continue
+			}
+			if rel := (cv - bv) / bv; rel > tol {
+				findings = append(findings, finding{bench: key(b), metric: name, base: bv, new: cv, rel: rel})
+			}
+		}
+	}
+	for _, c := range cand.Benchmarks {
+		if _, ok := bIdx[key(c)]; !ok {
+			added = append(added, key(c))
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(added)
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].bench != findings[j].bench {
+			return findings[i].bench < findings[j].bench
+		}
+		return findings[i].metric < findings[j].metric
+	})
+	return findings, missing, added
+}

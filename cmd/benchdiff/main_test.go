@@ -1,0 +1,95 @@
+package main
+
+import "testing"
+
+func rep(benches ...Result) *Report { return &Report{Benchmarks: benches} }
+
+func bench(pkg, name string, ns, bytes, allocs float64) Result {
+	return Result{Name: name, Pkg: pkg, Metrics: map[string]float64{
+		"ns/op":     ns,
+		"B/op":      bytes,
+		"allocs/op": allocs,
+	}}
+}
+
+func TestDiffWithinTolerancePasses(t *testing.T) {
+	base := rep(bench("pkg/a", "BenchmarkX", 100, 64, 3))
+	cand := rep(bench("pkg/a", "BenchmarkX", 120, 70, 3))
+	findings, missing, added := diff(base, cand, 0.25, 0)
+	if len(findings) != 0 || len(missing) != 0 || len(added) != 0 {
+		t.Fatalf("expected clean diff, got findings=%v missing=%v added=%v", findings, missing, added)
+	}
+}
+
+func TestDiffTimingRegressionFails(t *testing.T) {
+	base := rep(bench("pkg/a", "BenchmarkX", 100, 64, 3))
+	cand := rep(bench("pkg/a", "BenchmarkX", 200, 64, 3))
+	findings, _, _ := diff(base, cand, 0.25, 0)
+	if len(findings) != 1 {
+		t.Fatalf("expected one finding, got %v", findings)
+	}
+	f := findings[0]
+	if f.metric != "ns/op" || f.hard {
+		t.Fatalf("expected soft ns/op finding, got %+v", f)
+	}
+	if f.rel < 0.99 || f.rel > 1.01 {
+		t.Fatalf("expected ~+100%% relative growth, got %v", f.rel)
+	}
+}
+
+func TestDiffAllocsHardGate(t *testing.T) {
+	base := rep(bench("pkg/a", "BenchmarkX", 100, 64, 3))
+
+	// Growth within slack passes.
+	cand := rep(bench("pkg/a", "BenchmarkX", 100, 64, 5))
+	if findings, _, _ := diff(base, cand, 0.25, 2); len(findings) != 0 {
+		t.Fatalf("allocs growth within slack should pass, got %v", findings)
+	}
+
+	// Growth beyond slack fails regardless of how generous the relative
+	// tolerance is — the alloc gate is absolute.
+	cand = rep(bench("pkg/a", "BenchmarkX", 100, 64, 6))
+	findings, _, _ := diff(base, cand, 100, 2)
+	if len(findings) != 1 || !findings[0].hard || findings[0].metric != "allocs/op" {
+		t.Fatalf("expected hard allocs/op finding, got %v", findings)
+	}
+}
+
+func TestDiffMissingAndAdded(t *testing.T) {
+	base := rep(
+		bench("pkg/a", "BenchmarkOld", 100, 0, 0),
+		bench("pkg/a", "BenchmarkKept", 100, 0, 0),
+	)
+	cand := rep(
+		bench("pkg/a", "BenchmarkKept", 100, 0, 0),
+		bench("pkg/b", "BenchmarkNew", 50, 0, 0),
+	)
+	findings, missing, added := diff(base, cand, 0.25, 0)
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings %v", findings)
+	}
+	if len(missing) != 1 || missing[0] != "pkg/a.BenchmarkOld" {
+		t.Fatalf("missing = %v", missing)
+	}
+	if len(added) != 1 || added[0] != "pkg/b.BenchmarkNew" {
+		t.Fatalf("added = %v", added)
+	}
+}
+
+func TestDiffZeroBaselineSkipped(t *testing.T) {
+	// A zero baseline (e.g. 0 B/op) cannot support a relative gate; 0 -> 16
+	// must not fail the build on noise-level allocator changes.
+	base := rep(bench("pkg/a", "BenchmarkX", 100, 0, 0))
+	cand := rep(bench("pkg/a", "BenchmarkX", 100, 16, 0))
+	if findings, _, _ := diff(base, cand, 0.25, 0); len(findings) != 0 {
+		t.Fatalf("zero baseline should be skipped, got %v", findings)
+	}
+}
+
+func TestDiffImprovementNeverFails(t *testing.T) {
+	base := rep(bench("pkg/a", "BenchmarkX", 100, 640, 30))
+	cand := rep(bench("pkg/a", "BenchmarkX", 10, 64, 3))
+	if findings, _, _ := diff(base, cand, 0.0, 0); len(findings) != 0 {
+		t.Fatalf("improvements should pass even at tol=0, got %v", findings)
+	}
+}

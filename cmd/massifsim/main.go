@@ -12,12 +12,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"lowcomm3d/internal/cluster"
 	"lowcomm3d/internal/green"
 	"lowcomm3d/internal/grid"
 	"lowcomm3d/internal/massif"
+	"lowcomm3d/internal/obs"
 	"lowcomm3d/internal/report"
+	"lowcomm3d/internal/telemetry"
 )
 
 func main() {
@@ -34,8 +37,21 @@ func main() {
 		maxIter   = flag.Int("maxiter", 200, "iteration cap")
 		exx       = flag.Float64("exx", 0.01, "applied axial strain E_xx")
 		contrastE = flag.Float64("contrast", 3, "Young's modulus contrast between phases")
+		serve     = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /debug/pprof) on this address, e.g. :8080, and block after the run")
 	)
 	flag.Parse()
+
+	var tr *obs.Trace
+	var srv *telemetry.Server
+	if *serve != "" {
+		tr = obs.New()
+		s, err := telemetry.Serve(*serve, tr, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = s
+		log.Printf("telemetry: serving http://%s/metrics (plus /healthz, /debug/pprof)", srv.Addr())
+	}
 
 	l1, m1 := green.LameFromENu(210, 0.3)
 	l2, m2 := green.LameFromENu(210 / *contrastE, 0.3)
@@ -63,7 +79,7 @@ func main() {
 		log.Fatalf("unknown microstructure %q", *micro)
 	}
 	E := grid.SymTensor{*exx, 0, 0, 0, 0, 0}
-	opt := massif.Options{Tol: *tol, MaxIter: *maxIter}
+	opt := massif.Options{Tol: *tol, MaxIter: *maxIter, Trace: tr}
 	if *subSize == 0 {
 		*subSize = *n / 2
 	}
@@ -93,7 +109,7 @@ func main() {
 			report.Bytes(8*int64(m.Dim.Len())*grid.NumVoigt*4)+" (4 transposes)")
 	}
 	if *solver == "distributed" || *solver == "all" {
-		cl, err := cluster.New(*workers, cluster.DefaultParams())
+		cl, err := cluster.NewWithOptions(*workers, cluster.DefaultParams(), cluster.Options{Trace: tr})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -124,6 +140,13 @@ func main() {
 			report.Bytes(int64(res.Comm.BytesPerIter))+" (1 sparse exchange)")
 	}
 	t.Render(os.Stdout)
+	if srv != nil {
+		log.Printf("telemetry: run complete, still serving http://%s/ — Ctrl-C to exit", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		srv.Close()
+	}
 }
 
 func last(xs []float64) float64 {

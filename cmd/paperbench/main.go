@@ -21,7 +21,9 @@ import (
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"lowcomm3d/internal/ckpt"
@@ -35,6 +37,7 @@ import (
 	"lowcomm3d/internal/report"
 	"lowcomm3d/internal/sample"
 	"lowcomm3d/internal/supervise"
+	"lowcomm3d/internal/telemetry"
 )
 
 func main() {
@@ -52,12 +55,32 @@ func main() {
 		sweep   = flag.Bool("sweep", false, "measured accuracy/compression tradeoff across far rates (§5.4)")
 		all     = flag.Bool("all", false, "run everything")
 		traceTo = flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto JSON) of the run to this file")
+		serve   = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /flight, /debug/pprof) on this address, e.g. :8080, and block after the run")
 	)
 	flag.StringVar(&ckptDir, "ckpt-dir", "",
 		"durable checkpoint directory for the -chaos study (default: a fresh directory under the OS temp dir)")
 	flag.Parse()
-	if *traceTo != "" {
+	if *traceTo != "" || *serve != "" {
 		tr = obs.New()
+	}
+	// The chaos study always records a per-rank flight recorder and dumps
+	// its postmortem next to the trace artifact; serve mode exposes the
+	// recorder live at /flight.
+	if *chaos || *all || *serve != "" {
+		flight = telemetry.NewRecorder(8, 0)
+	}
+	postmortemPath = "paperbench-chaos.postmortem.txt"
+	if *traceTo != "" {
+		postmortemPath = strings.TrimSuffix(*traceTo, filepath.Ext(*traceTo)) + ".postmortem.txt"
+	}
+	var srv *telemetry.Server
+	if *serve != "" {
+		s, err := telemetry.Serve(*serve, tr, flight)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv = s
+		log.Printf("telemetry: serving http://%s/metrics (plus /healthz, /flight, /debug/pprof)", srv.Addr())
 	}
 
 	ran := false
@@ -67,6 +90,14 @@ func main() {
 		}
 		ran = true
 		if err := f(); err != nil {
+			// A failed study still leaves the flight-recorder postmortem
+			// behind — the whole point of the recorder is explaining the
+			// run that did not finish.
+			if flight != nil {
+				if derr := flight.DumpFile(postmortemPath); derr == nil {
+					log.Printf("flight-recorder postmortem written to %s", postmortemPath)
+				}
+			}
 			log.Fatal(err)
 		}
 		fmt.Println()
@@ -84,7 +115,7 @@ func main() {
 	run(*chaos, chaosStudy)
 	run(*fleet, fleetStudy)
 	run(*sweep, rateSweep)
-	if !ran {
+	if !ran && *serve == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -101,11 +132,25 @@ func main() {
 		}
 		log.Printf("wrote Chrome trace to %s (load in chrome://tracing or ui.perfetto.dev)", *traceTo)
 	}
+	if srv != nil {
+		log.Printf("telemetry: run complete, still serving http://%s/ — Ctrl-C to exit", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		srv.Close()
+	}
 }
 
-// tr is the optional run-wide trace; nil (no -trace flag) makes every
-// instrumentation call a no-op.
+// tr is the optional run-wide trace; nil (no -trace or -serve flag) makes
+// every instrumentation call a no-op.
 var tr *obs.Trace
+
+// flight is the per-rank flight recorder, active for chaos and serve runs
+// (nil otherwise; all methods are nil-safe). postmortemPath is where the
+// chaos study dumps it — next to the Chrome trace artifact when -trace is
+// set.
+var flight *telemetry.Recorder
+var postmortemPath string
 
 func table1() error {
 	t := report.New("Table 1 — memory: traditional full-grid FFT vs domain-local FFT (GB)",
@@ -625,6 +670,7 @@ func chaosStudy() error {
 			RetryBudget: 4,
 			Transport:   inj,
 			Trace:       tr,
+			Flight:      flight,
 		})
 		if err != nil {
 			return err
@@ -633,6 +679,7 @@ func chaosStudy() error {
 		hopt.Heal = &massif.HealOptions{
 			Store:     store,
 			Supervise: supervise.Options{Trace: healTrace()},
+			Flight:    flight,
 		}
 		res, err := massif.SolveLowCommDistributed(c, mst, E, hopt)
 		if err != nil {
@@ -673,6 +720,7 @@ func chaosStudy() error {
 		RecvTimeout: 500 * time.Millisecond,
 		RetryBudget: 4,
 		Trace:       tr,
+		Flight:      flight,
 	})
 	if err != nil {
 		return err
@@ -686,6 +734,7 @@ func chaosStudy() error {
 		Store:     store,
 		Chaos:     schedule,
 		Supervise: supervise.Options{Trace: healTrace()},
+		Flight:    flight,
 	}
 	res, err := massif.SolveLowCommDistributed(c, mst, E, sopt)
 	if err != nil {
@@ -718,7 +767,7 @@ func chaosStudy() error {
 	if err != nil {
 		return err
 	}
-	c, err = cluster.NewWithOptions(2, cluster.DefaultParams(), cluster.Options{Trace: tr})
+	c, err = cluster.NewWithOptions(2, cluster.DefaultParams(), cluster.Options{Trace: tr, Flight: flight})
 	if err != nil {
 		return err
 	}
@@ -726,6 +775,7 @@ func chaosStudy() error {
 		Store:     store,
 		Devices:   devs,
 		Supervise: supervise.Options{Trace: healTrace()},
+		Flight:    flight,
 	}
 	res, err = massif.SolveLowCommDistributed(c, mst, E, oopt)
 	if err != nil {
@@ -736,6 +786,10 @@ func chaosStudy() error {
 	}
 	t.Render(os.Stdout)
 	fmt.Printf("\ndurable checkpoints under %s (override with -ckpt-dir)\n", base)
+	if err := flight.DumpFile(postmortemPath); err != nil {
+		return err
+	}
+	fmt.Printf("flight-recorder postmortem written to %s\n", postmortemPath)
 	return nil
 }
 

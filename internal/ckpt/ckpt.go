@@ -43,6 +43,7 @@ import (
 
 	"lowcomm3d/internal/obs"
 	"lowcomm3d/internal/sample"
+	"lowcomm3d/internal/telemetry"
 )
 
 const (
@@ -219,9 +220,10 @@ func ReadSnapshot(r io.Reader) (*Snapshot, error) {
 type Store struct {
 	dir string
 
-	bytesC *obs.Counter // ckpt.bytes_written
-	savesC *obs.Counter // ckpt.saves
-	fileG  *obs.Gauge   // ckpt.max_file_bytes
+	bytesC *obs.Counter        // ckpt.bytes_written
+	savesC *obs.Counter        // ckpt.saves
+	fileG  *obs.Gauge          // ckpt.max_file_bytes
+	flight *telemetry.Recorder // per-rank checkpoint events, nil OK
 }
 
 // NewStore opens (creating if needed) the checkpoint directory. A non-nil
@@ -244,6 +246,11 @@ func NewStore(dir string, tr *obs.Trace) (*Store, error) {
 
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetFlight attaches a flight recorder: every durable strain deposit is
+// recorded as a per-rank checkpoint event, so a postmortem can name a
+// dead rank's last durable checkpoint. A nil recorder disables recording.
+func (s *Store) SetFlight(rec *telemetry.Recorder) { s.flight = rec }
 
 func (s *Store) strainPath(worker int) string {
 	return filepath.Join(s.dir, fmt.Sprintf("strain-%04d.ckpt", worker))
@@ -290,6 +297,7 @@ func (s *Store) SaveStrain(snap *Snapshot) error {
 	s.bytesC.Add(n)
 	s.savesC.Add(1)
 	s.fileG.Max(n)
+	s.flight.Checkpoint(snap.Worker, snap.Iter, n)
 	return nil
 }
 

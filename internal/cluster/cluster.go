@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"lowcomm3d/internal/obs"
+	"lowcomm3d/internal/telemetry"
 )
 
 // Stats accounts every byte that crosses worker boundaries, the measured
@@ -44,6 +45,9 @@ type Stats struct {
 	timeoutC *obs.Counter
 	collOpsC *obs.Counter
 	collByC  *obs.Counter
+	a2aH     *obs.Histogram // per-worker all-to-all wall time
+	arH      *obs.Histogram // per-worker all-reduce wall time
+	bcH      *obs.Histogram // per-worker broadcast wall time
 }
 
 // MeasuredCollective is one completed collective round as observed on the
@@ -68,6 +72,9 @@ func (s *Stats) attachTrace(t *obs.Trace) {
 	s.timeoutC = t.Counter("cluster.timeouts")
 	s.collOpsC = t.Counter("cluster.collective.rounds")
 	s.collByC = t.Counter("cluster.collective.bytes")
+	s.a2aH = t.Histogram("cluster.alltoall_seconds")
+	s.arH = t.Histogram("cluster.allreduce_seconds")
+	s.bcH = t.Histogram("cluster.broadcast_seconds")
 }
 
 // CollectiveSnapshot returns a copy of the measured collective rounds.
@@ -204,9 +211,14 @@ type Options struct {
 	Transport Transport
 	// Trace, when non-nil, records fabric counters (cluster.bytes,
 	// cluster.messages, cluster.retransmits, cluster.timeouts,
-	// cluster.backoff_wait_ns, cluster.collective.rounds/bytes) and one
-	// span per worker collective, on display track worker-ID+1.
+	// cluster.backoff_wait_ns, cluster.collective.rounds/bytes), latency
+	// histograms per collective kind, and one span per worker collective,
+	// on display track worker-ID+1.
 	Trace *obs.Trace
+	// Flight, when non-nil, records each worker's completed collectives
+	// and crash events into the per-rank flight recorder, so a postmortem
+	// can name a dead rank's last completed collective.
+	Flight *telemetry.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -469,7 +481,9 @@ func (w *Worker) crashPoint(op string) error {
 	n := int(w.c.ops[w.ID].Add(1))
 	if w.c.transport.Crash(w.ID, n) {
 		w.c.declareDead(w.ID)
-		return &CrashError{Worker: w.ID, Op: op, OpIndex: n}
+		err := &CrashError{Worker: w.ID, Op: op, OpIndex: n}
+		w.c.opts.Flight.Crash(w.ID, op, err)
+		return err
 	}
 	return nil
 }
@@ -644,10 +658,16 @@ func (w *Worker) AllToAllFT(out [][]float64) (in [][]float64, missing []int, err
 	if err := w.crashPoint("all-to-all"); err != nil {
 		return nil, nil, err
 	}
-	sp := w.c.opts.Trace.StartTrack("cluster.alltoall", w.ID+1)
-	defer sp.End()
 	localMax := 0
 	localSum := int64(0)
+	sp := w.c.opts.Trace.StartTrack("cluster.alltoall", w.ID+1)
+	defer func() {
+		d := sp.End()
+		w.c.Stats.a2aH.Observe(d)
+		if err == nil {
+			w.c.opts.Flight.Collective(w.ID, "all-to-all", localSum, d)
+		}
+	}()
 	for to, b := range out {
 		if to == w.ID {
 			continue // self-copy never crosses the fabric
@@ -712,7 +732,13 @@ func (w *Worker) AllReduceSumFT(local []float64) (total []float64, dead []bool, 
 		return nil, nil, err
 	}
 	sp := w.c.opts.Trace.StartTrack("cluster.allreduce", w.ID+1)
-	defer sp.End()
+	defer func() {
+		d := sp.End()
+		w.c.Stats.arH.Observe(d)
+		if err == nil {
+			w.c.opts.Flight.Collective(w.ID, "all-reduce", int64(8*len(local)), d)
+		}
+	}()
 	c := w.c
 	if c.P == 1 {
 		out := make([]float64, len(local))
@@ -781,12 +807,18 @@ func (w *Worker) AllReduceSumFT(local []float64) (total []float64, dead []bool, 
 // Broadcast sends data from root to every other live worker (counted as
 // P−1 α–β-timed messages); all workers return the payload. A non-root
 // worker whose root dies gets a typed FaultError.
-func (w *Worker) Broadcast(root int, data []float64) ([]float64, error) {
+func (w *Worker) Broadcast(root int, data []float64) (out []float64, err error) {
 	if err := w.crashPoint("broadcast"); err != nil {
 		return nil, err
 	}
 	sp := w.c.opts.Trace.StartTrack("cluster.broadcast", w.ID+1)
-	defer sp.End()
+	defer func() {
+		d := sp.End()
+		w.c.Stats.bcH.Observe(d)
+		if err == nil {
+			w.c.opts.Flight.Collective(w.ID, "broadcast", int64(8*len(data)), d)
+		}
+	}()
 	if w.ID == root {
 		for to := 0; to < w.c.P; to++ {
 			if to != root && !w.c.isDead(to) {

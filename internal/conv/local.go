@@ -61,9 +61,11 @@ type Config struct {
 	Pruned  bool // use input-pruned z transforms (transform decomposition)
 
 	// Trace, when non-nil, records per-stage spans ("conv.run",
-	// "conv.stageA/B/C"), per-worker pencil spans, and the counters/gauges
-	// behind Stats (conv.pencils, conv.samples, conv.sample_bytes,
-	// conv.flops_model, conv.peak_bytes). Nil disables all recording.
+	// "conv.stageA/B/C"), per-stage latency histograms
+	// ("conv.stage_a/b/c_seconds"), per-worker pencil spans, and the
+	// counters/gauges behind Stats (conv.pencils, conv.samples,
+	// conv.sample_bytes, conv.flops_model, conv.peak_bytes). Nil disables
+	// all recording.
 	Trace *obs.Trace
 }
 
@@ -108,6 +110,10 @@ type Local struct {
 	// use on one Local; create one Local per goroutine).
 	slabBuf   []complex128
 	planesBuf []complex128
+
+	// Per-stage latency histograms, cached at construction so Run does no
+	// registry lookups (nil when cfg.Trace is nil; Observe is nil-safe).
+	hA, hB, hC *obs.Histogram
 }
 
 type gatherPoint struct {
@@ -154,6 +160,9 @@ func NewLocal(dim grid.Dim3, sub grid.Box, tree *octree.Tree, pw Pointwise, cfg 
 		}
 	}
 	l.buildSampleIndex()
+	l.hA = cfg.Trace.Histogram("conv.stage_a_seconds")
+	l.hB = cfg.Trace.Histogram("conv.stage_b_seconds")
+	l.hC = cfg.Trace.Histogram("conv.stage_c_seconds")
 	return l, nil
 }
 
@@ -215,7 +224,7 @@ func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
 		spanA.End()
 		return nil, st, err
 	}
-	spanA.End()
+	l.hA.Observe(spanA.End())
 	st.SlabBytes = 16 * n * n * k
 
 	// Stage B — batched 1D z transforms of the N² pencils with the
@@ -301,7 +310,7 @@ func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
 			return nil, st, err
 		}
 	}
-	spanB.End()
+	l.hB.Observe(spanB.End())
 
 	// Stage C — inverse 2D transform of each kept plane, then gather the
 	// octree samples (the full 3D result is never materialized).
@@ -323,7 +332,7 @@ func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
 	st.ModelBytes = 8 * n * n * k
 	st.PeakBytes = st.SlabBytes + st.PlanesBytes + st.SampleBytes
 	st.Compression = out.CompressionRatio()
-	spanC.End()
+	l.hC.Observe(spanC.End())
 	if tr := l.cfg.Trace; tr != nil {
 		tr.Counter("conv.pencils").Add(int64(st.PencilCount))
 		tr.Counter("conv.samples").Add(int64(st.SampleCount))

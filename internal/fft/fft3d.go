@@ -16,6 +16,7 @@ type Plan3D struct {
 	px, py, pz *Plan
 	workers    int
 	trace      *obs.Trace
+	hx, hy, hz *obs.Histogram // per-axis sweep latency, cached by SetTrace
 }
 
 // NewPlan3D creates a 3D plan for fields of dimensions d. workers ≤ 0
@@ -52,10 +53,16 @@ func NewPlan3D(d grid.Dim3, workers int) (*Plan3D, error) {
 func (p *Plan3D) Dim() grid.Dim3 { return p.dim }
 
 // SetTrace attaches an observability trace: each Forward/Inverse records
-// one span per axis sweep plus per-worker line spans, and accumulates the
-// 5·N·log₂N FLOP model in "fft.flops_model". A nil trace disables
+// one span per axis sweep plus per-worker line spans, accumulates the
+// 5·N·log₂N FLOP model in "fft.flops_model", and feeds per-axis sweep
+// latency histograms ("fft.sweep_x/y/z_seconds"). A nil trace disables
 // recording (the default).
-func (p *Plan3D) SetTrace(t *obs.Trace) { p.trace = t }
+func (p *Plan3D) SetTrace(t *obs.Trace) {
+	p.trace = t
+	p.hx = t.Histogram("fft.sweep_x_seconds")
+	p.hy = t.Histogram("fft.sweep_y_seconds")
+	p.hz = t.Histogram("fft.sweep_z_seconds")
+}
 
 // Forward transforms f in place (unnormalized).
 func (p *Plan3D) Forward(f *grid.ComplexField) error { return p.run(f, false) }
@@ -103,7 +110,7 @@ func (p *Plan3D) run(f *grid.ComplexField, inverse bool) error {
 			ec.Record(p.px.Forward(line, line))
 		}
 	})
-	ax.End()
+	p.hx.Observe(ax.End())
 	if err := ec.Err(); err != nil {
 		return err
 	}
@@ -119,7 +126,7 @@ func (p *Plan3D) run(f *grid.ComplexField, inverse bool) error {
 			ec.Record(p.py.ForwardStrided(data, off, d.Nx, scratch[w]))
 		}
 	})
-	ay.End()
+	p.hy.Observe(ay.End())
 	if err := ec.Err(); err != nil {
 		return err
 	}
@@ -132,7 +139,7 @@ func (p *Plan3D) run(f *grid.ComplexField, inverse bool) error {
 			ec.Record(p.pz.ForwardStrided(data, i, d.Nx*d.Ny, scratch[w]))
 		}
 	})
-	az.End()
+	p.hz.Observe(az.End())
 	return ec.Err()
 }
 

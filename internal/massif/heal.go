@@ -14,6 +14,7 @@ import (
 	"lowcomm3d/internal/grid"
 	"lowcomm3d/internal/sample"
 	"lowcomm3d/internal/supervise"
+	"lowcomm3d/internal/telemetry"
 )
 
 // HealOptions upgrades SolveLowCommDistributed from degrade-on-fault to
@@ -38,6 +39,13 @@ type HealOptions struct {
 	MinSubSize int
 	// MaxGenerations caps respawn rounds (default 2P+2).
 	MaxGenerations int
+	// Flight, when non-nil, is threaded into the supervisor (heartbeats,
+	// monitor deaths) and the checkpoint store (durable deposits), and the
+	// healing loop records crash and generation-reset events into it, so a
+	// postmortem names each dead rank's last heartbeat, collective, and
+	// checkpoint. Wire the same recorder into the cluster's Options.Flight
+	// to also capture per-worker collectives.
+	Flight *telemetry.Recorder
 }
 
 // HealReport describes what the supervision layer did during a healing
@@ -254,6 +262,8 @@ func solveSelfHealing(c *cluster.Cluster, m *Microstructure, E grid.SymTensor, o
 	}
 	kd := grid.Cube(opt.SubSize)
 
+	h.Supervise.Flight = h.Flight
+	h.Store.SetFlight(h.Flight)
 	sup := supervise.New(c.P, h.Supervise)
 	sup.Start(c.DeclareDead)
 	defer sup.Stop()
@@ -544,6 +554,7 @@ func solveSelfHealing(c *cluster.Cluster, m *Microstructure, E grid.SymTensor, o
 				aborted = true
 				respawned[rank] = true
 				sup.ArmRespawn(rank)
+				h.Flight.Crash(rank, ce.Op, e)
 			case errors.As(e, &ga), errors.As(e, &fe):
 				aborted = true
 			default:
@@ -559,6 +570,7 @@ func solveSelfHealing(c *cluster.Cluster, m *Microstructure, E grid.SymTensor, o
 		// and monitor kills are accounted by the heartbeat-deaths counter.
 		c.ResetEpoch()
 		sup.ResetGeneration()
+		h.Flight.Note(0, fmt.Sprintf("generation %d aborted; epoch reset, respawning from durable checkpoints", gen))
 		// Resume from the newest durable deposit: every rank restores its
 		// own checkpoint (older ones lag at most one iteration; the
 		// contraction absorbs the skew).

@@ -109,6 +109,7 @@ func SolveLowComm(m *Microstructure, E grid.SymTensor, opt LowCommOptions) (*Low
 	iterC := o.Trace.Counter("massif.iterations")
 	sampC := o.Trace.Counter("massif.samples")
 	byteC := o.Trace.Counter("massif.sample_bytes")
+	iterH := o.Trace.Histogram("massif.iteration_seconds")
 	for iter := 0; iter < o.MaxIter; iter++ {
 		iterSpan := o.Trace.Start("massif.iteration")
 		iterC.Add(1)
@@ -175,7 +176,7 @@ func SolveLowComm(m *Microstructure, E grid.SymTensor, opt LowCommOptions) (*Low
 		r := math.Sqrt(delta2) / normE
 		out.Residuals = append(out.Residuals, r)
 		out.Iterations = iter + 1
-		iterSpan.End()
+		iterH.Observe(iterSpan.End())
 		if r < o.Tol {
 			out.Converged = true
 			break

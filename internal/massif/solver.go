@@ -80,6 +80,7 @@ func SolveReference(m *Microstructure, E grid.SymTensor, opt Options) (*Result, 
 	}
 
 	iterC := opt.Trace.Counter("massif.iterations")
+	iterH := opt.Trace.Histogram("massif.iteration_seconds")
 	for iter := 0; iter < opt.MaxIter; iter++ {
 		iterSpan := opt.Trace.Start("massif.iteration")
 		iterC.Add(1)
@@ -124,7 +125,7 @@ func SolveReference(m *Microstructure, E grid.SymTensor, opt Options) (*Result, 
 		r := math.Sqrt(delta2) / normE
 		res.Residuals = append(res.Residuals, r)
 		res.Iterations = iter + 1
-		iterSpan.End()
+		iterH.Observe(iterSpan.End())
 		if r < opt.Tol {
 			res.Converged = true
 			break

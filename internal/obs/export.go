@@ -96,5 +96,12 @@ func (t *Trace) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	for _, h := range t.Histograms() {
+		hh := t.Histogram(h.Name)
+		if _, err := fmt.Fprintf(w, "%-32s %8d obs %12s p50 %12s p99 %12s max\n",
+			h.Name, h.Count, hh.Quantile(0.5), hh.Quantile(0.99), hh.Quantile(1)); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the Chrome-trace golden file")
+
+// goldenTrace builds a fully deterministic trace by setting the recorded
+// state directly (no wall clock involved): three spans across two tracks,
+// two counters, one gauge — the shapes the exporter emits.
+func goldenTrace() *Trace {
+	tr := New()
+	tr.spans = []SpanRecord{
+		{Name: "conv.stage_a", Track: 0, Start: 1 * time.Millisecond, Dur: 2 * time.Millisecond},
+		{Name: "conv.stage_b", Track: 0, Start: 3 * time.Millisecond, Dur: 1500 * time.Microsecond},
+		{Name: "worker.loop", Track: 2, Start: 500 * time.Microsecond, Dur: 4 * time.Millisecond},
+	}
+	tr.Counter("cluster.bytes").Add(16384)
+	tr.Counter("massif.iterations").Add(12)
+	tr.Gauge("conv.peak_bytes").Max(1 << 20)
+	return tr
+}
+
+// TestWriteChromeTraceGolden pins the Chrome trace-event export
+// byte-for-byte: the telemetry PR added histograms and snapshots to the
+// trace, and this proves the existing artifact format did not shift —
+// tooling that parses past BENCH/trace artifacts keeps working. Regenerate
+// deliberately with `go test ./internal/obs -run Golden -update`.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTrace().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome trace export is not byte-identical to the golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

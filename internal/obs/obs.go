@@ -33,8 +33,10 @@ type Trace struct {
 	spans    []SpanRecord
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 	order    []string // counter registration order, for deterministic export
 	gorder   []string // gauge registration order
+	horder   []string // histogram registration order
 }
 
 // New creates an empty trace whose span timestamps are relative to now.
@@ -43,6 +45,7 @@ func New() *Trace {
 		epoch:    time.Now(),
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -315,6 +318,27 @@ func (t *Trace) Gauges() []CounterSnapshot {
 		out = append(out, CounterSnapshot{Name: n, Value: t.gauges[n].Value()})
 	}
 	return out
+}
+
+// TraceSnapshot is a read-only point-in-time view of every registered
+// metric. Taking one never mutates the trace: no spans are ended, no
+// names are registered, and in-flight spans stay in flight — it is safe
+// to take from a scrape handler while a solve is running.
+type TraceSnapshot struct {
+	Counters   []CounterSnapshot
+	Gauges     []CounterSnapshot
+	Histograms []HistogramSnapshot
+}
+
+// Snapshot captures every counter, gauge, and histogram in registration
+// order. The live telemetry bridge (internal/telemetry) renders this;
+// nothing about the trace changes. Nil-safe (empty snapshot).
+func (t *Trace) Snapshot() TraceSnapshot {
+	return TraceSnapshot{
+		Counters:   t.Counters(),
+		Gauges:     t.Gauges(),
+		Histograms: t.Histograms(),
+	}
 }
 
 // FFTFlops is the standard 5·N·log₂(N) FLOP model of one length-N complex

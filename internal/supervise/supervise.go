@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"lowcomm3d/internal/obs"
+	"lowcomm3d/internal/telemetry"
 )
 
 // Options configures a Supervisor. Zero values select the documented
@@ -47,9 +48,15 @@ type Options struct {
 	// StragglerFloor is the minimum absolute threshold, so fast iterations
 	// with microsecond medians don't flag scheduling noise. Default 50ms.
 	StragglerFloor time.Duration
-	// Trace records the supervise.* counters; nil disables (obs is
-	// nil-safe).
+	// Trace records the supervise.* counters and the per-(rank, iter)
+	// compute-duration histogram "supervise.compute_seconds" — the same
+	// distribution the straggler quantile cutoff is computed from; nil
+	// disables (obs is nil-safe).
 	Trace *obs.Trace
+	// Flight, when non-nil, records every Beat and every heartbeat-monitor
+	// death into the per-rank flight recorder, so a postmortem can name a
+	// dead rank's last heartbeat.
+	Flight *telemetry.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -106,6 +113,7 @@ type Supervisor struct {
 	stragglers *obs.Counter
 	specWins   *obs.Counter
 	dups       *obs.Counter
+	computeH   *obs.Histogram // per-(rank, iter) compute-phase durations
 
 	// base holds the trace counters' values at construction: the same
 	// trace may serve many supervisors in sequence (one per solve), and
@@ -141,6 +149,7 @@ func New(p int, opt Options) *Supervisor {
 		stragglers: tr.Counter("supervise.stragglers_detected"),
 		specWins:   tr.Counter("supervise.speculative_wins"),
 		dups:       tr.Counter("supervise.duplicates_discarded"),
+		computeH:   tr.Histogram("supervise.compute_seconds"),
 	}
 	s.base = s.rawStats()
 	return s
@@ -201,6 +210,7 @@ func (s *Supervisor) sweep(now time.Time) {
 	s.mu.Unlock()
 	for _, r := range deaths {
 		s.hbDeaths.Add(1)
+		s.opt.Flight.Crash(r, "heartbeat-monitor", nil)
 		if onDead != nil {
 			onDead(r)
 		}
@@ -211,6 +221,7 @@ func (s *Supervisor) sweep(now time.Time) {
 // for respawn completes the respawn measurement: the rank is back.
 func (s *Supervisor) Beat(rank int, iter int) {
 	now := time.Now()
+	s.opt.Flight.Heartbeat(rank, iter)
 	s.mu.Lock()
 	s.lastBeat[rank] = now
 	s.deadByHB[rank] = false
@@ -254,6 +265,7 @@ func (s *Supervisor) EndCompute(rank, iter int) {
 			s.history = s.history[1:]
 		}
 		s.history = append(s.history, d)
+		s.computeH.Observe(d)
 	}
 	if iter > s.ended[rank] {
 		s.ended[rank] = iter

@@ -1,0 +1,182 @@
+package telemetry_test
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lowcomm3d/internal/cluster"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/obs"
+	"lowcomm3d/internal/telemetry"
+)
+
+// scrape GETs /metrics from a live server and returns sample values keyed
+// by series name (labels included).
+func scrape(t *testing.T, srv *telemetry.Server) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("bad sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// TestLiveMetricsMatchCommModel is the live-endpoint version of
+// cluster.TestMeasuredCommMatchesModel: scrape a running /metrics endpoint
+// during/after real collective traffic and check the exported
+// lowcomm_cluster_collective_bytes_total equals the paper's byte models
+// EXACTLY for P ∈ {1, 2, 7} — Eq. 1 through the real distributed FFT
+// convolution, Eq. 6 through a synthetic sparse exchange of the model's
+// point count.
+func TestLiveMetricsMatchCommModel(t *testing.T) {
+	for _, P := range []int{1, 2, 7} {
+		n := 8
+		if P == 7 {
+			n = 14 // divisible slab decomposition; exercises Bluestein FFTs
+		}
+
+		// --- Eq. 1: the two transpose rounds of the traditional method.
+		tr := obs.New()
+		srv, err := telemetry.Serve("127.0.0.1:0", tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := cluster.NewWithOptions(P, cluster.DefaultParams(), cluster.Options{Trace: tr})
+		if err != nil {
+			srv.Close()
+			t.Fatal(err)
+		}
+		f := grid.NewField(grid.Cube(n))
+		for i := range f.Data {
+			f.Data[i] = float64(i%17) - 8
+		}
+		if _, err := cluster.DistFFTConvolve(c, f, green.Gaussian{Sigma: 1.5}); err != nil {
+			srv.Close()
+			t.Fatalf("P=%d: DistFFTConvolve: %v", P, err)
+		}
+		series := scrape(t, srv)
+		srv.Close()
+		got := int64(series["lowcomm_cluster_collective_bytes_total"])
+		want := 2 * cluster.FFTTransposeFabricBytes(n, P)
+		if got != want {
+			t.Errorf("P=%d: scraped %d collective bytes, Eq. 1 model says %d", P, got, want)
+		}
+		// The same exact identity the in-process test pins, now via HTTP:
+		// measured·P == 2·TCommFFTBytes(n)·(P−1).
+		if got*int64(P) != 2*cluster.TCommFFTBytes(n)*int64(P-1) {
+			t.Errorf("P=%d: scraped·P = %d != 2·TCommFFTBytes·(P−1) = %d",
+				P, got*int64(P), 2*cluster.TCommFFTBytes(n)*int64(P-1))
+		}
+		if rounds := int64(series["lowcomm_cluster_collective_rounds_total"]); rounds != 2 {
+			t.Errorf("P=%d: scraped %d rounds, want 2", P, rounds)
+		}
+
+		// --- Eq. 6: synthetic sparse exchange of exactly k³ + SparseSamples
+		// points per peer ((32³−8³)/4³ = 504 far-field samples).
+		const en, ek, er = 32, 8, 4
+		points := ek*ek*ek + cluster.SparseSamples(en, ek, er)
+		tr2 := obs.New()
+		srv2, err := telemetry.Serve("127.0.0.1:0", tr2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := cluster.NewWithOptions(P, cluster.DefaultParams(), cluster.Options{Trace: tr2})
+		if err != nil {
+			srv2.Close()
+			t.Fatal(err)
+		}
+		err = c2.Run(func(w *cluster.Worker) error {
+			out := make([][]float64, P)
+			for q := 0; q < P; q++ {
+				out[q] = make([]float64, points)
+			}
+			_, err := w.AllToAll(out)
+			return err
+		})
+		if err != nil {
+			srv2.Close()
+			t.Fatalf("P=%d: synthetic exchange: %v", P, err)
+		}
+		series = scrape(t, srv2)
+		srv2.Close()
+		got = int64(series["lowcomm_cluster_collective_bytes_total"])
+		want = int64(P) * int64(P-1) * cluster.TOursBytes(en, ek, er)
+		if got != want {
+			t.Errorf("P=%d: scraped %d bytes for the sparse exchange, Eq. 6 model P·(P−1)·TOursBytes = %d",
+				P, got, want)
+		}
+	}
+}
+
+// TestLiveHistogramsFromCollectives checks a real solve populates the
+// per-collective latency histograms the exposition serves.
+func TestLiveHistogramsFromCollectives(t *testing.T) {
+	const P = 4
+	tr := obs.New()
+	c, err := cluster.NewWithOptions(P, cluster.DefaultParams(), cluster.Options{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(w *cluster.Worker) error {
+		out := make([][]float64, P)
+		for q := 0; q < P; q++ {
+			out[q] = []float64{float64(w.ID)}
+		}
+		if _, err := w.AllToAll(out); err != nil {
+			return err
+		}
+		_, err := w.AllReduceSum([]float64{1})
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := telemetry.Serve("127.0.0.1:0", tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	series := scrape(t, srv)
+	if v := series["lowcomm_cluster_alltoall_seconds_count"]; v != P {
+		t.Errorf("alltoall histogram count = %v, want %d (one per worker)", v, P)
+	}
+	if v := series["lowcomm_cluster_allreduce_seconds_count"]; v != P {
+		t.Errorf("allreduce histogram count = %v, want %d", v, P)
+	}
+	if v := series[`lowcomm_cluster_alltoall_seconds_bucket{le="+Inf"}`]; v != P {
+		t.Errorf("+Inf bucket = %v, want %d", v, P)
+	}
+}

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+
+	"lowcomm3d/internal/obs"
+)
+
+// namePrefix namespaces every exported series; a scrape of a lowcomm3d
+// process is recognisable among hundreds of other jobs.
+const namePrefix = "lowcomm_"
+
+// helpText documents the stable exported names against the paper. Keys
+// are the obs registry names (pre-sanitisation); anything not listed gets
+// a generic HELP line, so an undocumented new counter is still exported.
+var helpText = map[string]string{
+	"cluster.bytes":                  "Total fabric bytes sent (point-to-point and collective-internal), incl. retransmits.",
+	"cluster.messages":               "Logical messages sent across the fabric (retransmits excluded).",
+	"cluster.retransmits":            "Messages re-sent after a receive deadline expired.",
+	"cluster.timeouts":               "Receive attempts that hit their deadline.",
+	"cluster.backoff_wait_ns":        "Nanoseconds spent in receive-deadline exponential backoff.",
+	"cluster.collective.rounds":      "Completed all-to-all rounds; the traditional FFT costs 2 per 3D transform (Eq. 1), the proposed method 1 per exchange (Eq. 6, Fig. 1).",
+	"cluster.collective.bytes":       "Fabric bytes moved by completed collective rounds - the measured twin of the paper's byte models: 16*N^3*(P-1)/P per slab-transpose round (Eq. 1), P*(P-1)*TOursBytes(N,k,r) per sparse exchange (Eq. 6).",
+	"cluster.alltoall_seconds":       "Wall time of each worker's personalized all-to-all, the measured side of the alpha-beta ModelSec prediction (Eq. 2).",
+	"cluster.allreduce_seconds":      "Wall time of each worker's all-reduce (gather-to-root + broadcast).",
+	"cluster.broadcast_seconds":      "Wall time of each worker's broadcast.",
+	"conv.pencils":                   "Pencils transformed by the batched stage-B z sweeps (the paper's B-batch dimension, section 5.4).",
+	"conv.samples":                   "Octree samples gathered by stage C.",
+	"conv.sample_bytes":              "Compressed output bytes (samples + octree metadata), the numerator of Table 1's compression claim.",
+	"conv.flops_model":               "Modeled FFT FLOPs (5*N*log2 N per line) executed by the local pipeline - the work term of the Table 3 runtime model.",
+	"conv.peak_bytes":                "High-water intermediate footprint of conv.Local.Run: slab + kept planes + samples, the measured side of Table 1/Table 4's 8*N^2*k memory model.",
+	"conv.stage_a_seconds":           "conv.Local.Run stage A (forward 2D transforms of the k sub-domain slices into the N*N*k slab).",
+	"conv.stage_b_seconds":           "conv.Local.Run stage B (batched 1D z transforms + pointwise kernel, the cuFFT-callback stage of Table 3's pipeline).",
+	"conv.stage_c_seconds":           "conv.Local.Run stage C (inverse 2D transforms of kept planes + octree sample gather).",
+	"fft.flops_model":                "Modeled FLOPs of full 3D pencil sweeps (5*N*log2 N per line).",
+	"fft.sweep_x_seconds":            "Wall time of one x-axis 1D-transform sweep of Plan3D (N^2 lines).",
+	"fft.sweep_y_seconds":            "Wall time of one y-axis 1D-transform sweep of Plan3D.",
+	"fft.sweep_z_seconds":            "Wall time of one z-axis 1D-transform sweep of Plan3D.",
+	"massif.iterations":              "MASSIF fixed-point iterations completed.",
+	"massif.samples":                 "Octree samples exchanged per MASSIF iteration across all sub-domains.",
+	"massif.sample_bytes":            "Compressed bytes entering the sparse all-to-all per MASSIF iteration (Alg. 2 line 6).",
+	"massif.iteration_seconds":       "Wall time of each MASSIF fixed-point iteration.",
+	"supervise.compute_seconds":      "Per-(rank, iter) MASSIF compute-phase durations - the same distribution the straggler quantile cutoff is computed from.",
+	"supervise.heartbeat_deaths":     "Workers declared dead by the heartbeat monitor.",
+	"supervise.respawns":             "Replacement workers brought back from durable checkpoints.",
+	"supervise.respawn_latency_ns":   "Summed detection-to-first-beat respawn latency.",
+	"supervise.stragglers_detected":  "(rank, iter) pairs flagged slower than the quantile cutoff.",
+	"supervise.speculative_wins":     "Straggler iterations served by an idle backup's re-execution.",
+	"supervise.duplicates_discarded": "Late duplicate results dropped at the speculation board.",
+	"heal.generations":               "Worker generations run by the self-healing solve (1 = fault-free).",
+	"heal.k_refinements":             "Admission-control decomposition refinements (Table 4's memory model as runtime behavior).",
+	"ckpt.bytes_written":             "Durable checkpoint bytes written (temp+fsync+rename).",
+	"ckpt.saves":                     "Durable checkpoint deposits completed.",
+	"ckpt.max_file_bytes":            "Largest single checkpoint file written.",
+}
+
+// MetricName converts an obs registry name to its exported Prometheus
+// series name: sanitised to [a-zA-Z0-9_], prefixed with "lowcomm_", and
+// (for counters) suffixed with "_total" per the Prometheus convention.
+func MetricName(obsName string, counter bool) string {
+	var b strings.Builder
+	b.WriteString(namePrefix)
+	for _, r := range obsName {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if counter {
+		b.WriteString("_total")
+	}
+	return b.String()
+}
+
+func helpFor(obsName, kind string) string {
+	if h, ok := helpText[obsName]; ok {
+		return h
+	}
+	return fmt.Sprintf("obs %s %q (undocumented).", kind, obsName)
+}
+
+// promWriter accumulates exposition text, guarding against duplicate
+// series (two obs names that sanitise to the same exported name would
+// otherwise emit an invalid exposition; the first registration wins).
+type promWriter struct {
+	w    io.Writer
+	seen map[string]bool
+	err  error
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// family emits the HELP/TYPE header for name; reports false on duplicate.
+func (p *promWriter) family(name, help, typ string) bool {
+	if p.seen[name] {
+		return false
+	}
+	p.seen[name] = true
+	p.printf("# HELP %s %s\n", name, help)
+	p.printf("# TYPE %s %s\n", name, typ)
+	return true
+}
+
+// WriteTraceMetrics renders a read-only snapshot of the trace in the
+// Prometheus text exposition format (version 0.0.4): every obs counter as
+// a counter, every gauge as a gauge, every latency histogram as a
+// histogram with cumulative log2 `le` buckets, `_sum` in seconds, and
+// `_count`. Taking the snapshot never mutates the trace (obs.Trace.Snapshot),
+// so scraping a live solve is safe. Nil-safe: a nil trace writes nothing.
+func WriteTraceMetrics(w io.Writer, tr *obs.Trace) error {
+	snap := tr.Snapshot()
+	p := &promWriter{w: w, seen: map[string]bool{}}
+	for _, c := range snap.Counters {
+		name := MetricName(c.Name, true)
+		if !p.family(name, helpFor(c.Name, "counter"), "counter") {
+			continue
+		}
+		p.printf("%s %d\n", name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		name := MetricName(g.Name, false)
+		if !p.family(name, helpFor(g.Name, "gauge"), "gauge") {
+			continue
+		}
+		p.printf("%s %d\n", name, g.Value)
+	}
+	for _, h := range snap.Histograms {
+		name := MetricName(h.Name, false)
+		if !p.family(name, helpFor(h.Name, "histogram"), "histogram") {
+			continue
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			p.printf("%s_bucket{le=\"%g\"} %d\n", name, float64(b.UpperNs)/1e9, cum)
+		}
+		p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		p.printf("%s_sum %g\n", name, float64(h.SumNs)/1e9)
+		p.printf("%s_count %d\n", name, h.Count)
+	}
+	return p.err
+}
+
+// WriteRuntimeMetrics renders a small set of Go runtime gauges/counters
+// (goroutines, heap, GC) so a scrape sees process health next to the
+// pipeline metrics.
+func WriteRuntimeMetrics(w io.Writer) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	p := &promWriter{w: w, seen: map[string]bool{}}
+	gauges := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"go_goroutines", "Number of live goroutines.", uint64(runtime.NumGoroutine())},
+		{"go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", ms.HeapAlloc},
+		{"go_memstats_heap_sys_bytes", "Bytes of heap obtained from the OS.", ms.HeapSys},
+		{"go_memstats_sys_bytes", "Total bytes obtained from the OS.", ms.Sys},
+		{"go_memstats_next_gc_bytes", "Heap size target of the next GC cycle.", ms.NextGC},
+	}
+	for _, g := range gauges {
+		if p.family(g.name, g.help, "gauge") {
+			p.printf("%s %d\n", g.name, g.v)
+		}
+	}
+	counters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.", ms.TotalAlloc},
+		{"go_gc_cycles_total", "Completed GC cycles.", uint64(ms.NumGC)},
+	}
+	for _, c := range counters {
+		if p.family(c.name, c.help, "counter") {
+			p.printf("%s %d\n", c.name, c.v)
+		}
+	}
+	return p.err
+}
+
+// DocumentedMetrics returns the exported names this package documents with
+// model-anchored HELP text, sorted — the stable-name contract tests pin.
+func DocumentedMetrics() []string {
+	out := make([]string, 0, len(helpText))
+	for name := range helpText {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

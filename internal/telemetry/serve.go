@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"lowcomm3d/internal/obs"
+)
+
+// Server is a running telemetry HTTP endpoint. Close shuts it down.
+type Server struct {
+	ln    net.Listener
+	srv   *http.Server
+	start time.Time
+}
+
+// Addr returns the bound address (useful with ":0" for tests).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve binds addr (":8080", "127.0.0.1:0", …) and serves the live
+// telemetry endpoints in a background goroutine:
+//
+//	/metrics        Prometheus text exposition of the trace + Go runtime
+//	/healthz        JSON liveness (uptime, rank count)
+//	/flight         current flight-recorder postmortem (live, no crash needed)
+//	/debug/pprof/*  standard Go profiling handlers
+//
+// tr and rec may be nil; the endpoints degrade to runtime-only metrics and
+// a placeholder flight dump. The returned Server's Addr reports the bound
+// address; Close shuts it down.
+func Serve(addr string, tr *obs.Trace, rec *Recorder) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, start: time.Now()}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteTraceMetrics(w, tr); err != nil {
+			return
+		}
+		WriteRuntimeMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status":         "ok",
+			"uptime_seconds": time.Since(s.start).Seconds(),
+			"ranks":          rec.Ranks(),
+		})
+	})
+	mux.HandleFunc("/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		rec.WritePostmortem(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// ServeURL is a convenience for log lines: "http://<addr>/metrics".
+func (s *Server) ServeURL() string {
+	return fmt.Sprintf("http://%s/metrics", s.Addr())
+}

@@ -1,0 +1,35 @@
+// Package telemetry is the live layer on top of internal/obs: where obs
+// makes a finished run inspectable (Chrome traces, flat summaries), this
+// package makes a running solve observable from the outside, without
+// stopping it.
+//
+// Three pieces:
+//
+//   - A Prometheus text-exposition bridge (WriteTraceMetrics) that renders
+//     every registered obs counter, gauge, and latency histogram under
+//     stable lowcomm_* metric names, with HELP lines documenting each
+//     metric against the paper's equations (Eq. 1/Eq. 2/Eq. 6, Tables
+//     3–4). The histograms themselves are obs.Trace.Histogram log₂-bucket
+//     histograms recorded on the hot paths: per-axis FFT sweeps, the
+//     conv.Local.Run A/B/C stages, every cluster collective, and the
+//     per-(rank, iter) MASSIF compute phase that also feeds the straggler
+//     quantiles in internal/supervise.
+//
+//   - A per-rank flight recorder (Recorder): a fixed-size, lock-cheap ring
+//     of recent heartbeats, collectives, checkpoints, spans, and crash
+//     events per rank, dumped as a postmortem when a worker crashes, a
+//     solve returns a typed error, or the chaos harness injects a fault —
+//     so "rank 3 never came back" becomes "rank 3's last heartbeat was
+//     iter 4, its last completed collective an all-to-all, and it crashed
+//     in send".
+//
+//   - An opt-in HTTP serve mode (Serve): /metrics (Prometheus text),
+//     /healthz (JSON liveness), /flight (live flight-recorder dump), and
+//     /debug/pprof/* — wired into `paperbench -serve` and
+//     `massifsim -serve` so a long chaos/heal run can be scraped and
+//     profiled live.
+//
+// The package depends only on internal/obs and the standard library; the
+// instrumented packages (fft, conv, cluster, supervise, ckpt, massif)
+// may depend on it, never the reverse.
+package telemetry
