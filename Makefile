@@ -2,10 +2,10 @@
 
 # Where `make bench` writes its benchjson report. Override per PR:
 #   make bench BENCH_OUT=BENCH_PR5.json
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR5.json
 
 # Baseline the bench-diff gate compares against.
-BENCH_BASE ?= BENCH_PR4.json
+BENCH_BASE ?= BENCH_PR5.json
 
 # The gate for every change: static checks, full build, and the complete
 # test suite under the race detector (the fault-tolerant transport is
@@ -32,7 +32,7 @@ bench:
 # regression (cmd/benchdiff). CI runs a coarse version of this gate.
 bench-diff:
 	go test -bench=. -benchmem ./... | go run ./cmd/benchjson -o /tmp/bench-new.json
-	go run ./cmd/benchdiff -base $(BENCH_BASE) -new /tmp/bench-new.json -tol 0.5 -allocs-slack 8
+	go run ./cmd/benchdiff -base $(BENCH_BASE) -new /tmp/bench-new.json -tol 0.5 -allocs-slack 8 -zero-tol 65536 -strict
 
 # 10s smoke of each fuzz target against the committed seed corpora; the
 # full 30s runs are part of the PR acceptance checklist.

@@ -5,12 +5,27 @@
 //	benchdiff -base BENCH_PR3.json -new BENCH_PR4.json -tol 0.25
 //
 // Relative metrics (ns/op, B/op, and any custom ReportMetric unit) fail
-// when new > base·(1+tol). allocs/op is held to a hard absolute slack
-// instead (-allocs-slack, default 0): timing noise never changes an
-// allocation count, so a drift there is a real code change. Benchmarks
-// present in only one report are listed; -strict turns a benchmark
-// missing from the NEW report into a failure (a deleted benchmark can
-// hide a regression).
+// when new > base·(1+tol). allocs/op is held to a hard gate instead: new
+// may exceed base by at most -allocs-slack (absolute, default 0) plus
+// -allocs-rel·base (proportional, default 0.05). The absolute slack is
+// the real gate for zero/low-allocation hot paths, where any drift is a
+// code change; the proportional term keeps setup-heavy benchmarks
+// (thousands of allocs/op from pools and plan caches that amortize with
+// iteration count) from tripping on a short -benchtime run. ns/op is
+// compared only when both runs executed at least -min-time-iters
+// iterations (default 100): a 10-iteration quick pass measures timer and
+// setup overhead, not the operation, so its per-op time says nothing. On
+// such short runs the allocs/op gate is also limited to zero-baseline
+// benchmarks — a short run certifies allocation-freeness exactly (a
+// clean timed loop measures 0 at any iteration count) but reports
+// amortized setup on top of real per-op counts for everything else. A
+// zero (or negative) baseline makes the relative gate meaningless —
+// dividing by it yields ±Inf/NaN — so those metrics are held to the
+// -zero-tol absolute increase instead (default 0: any growth from a zero
+// baseline fails; zero baselines are usually hard-won, e.g. B/op of an
+// allocation-free steady state). Benchmarks present in only one report
+// are listed; -strict turns a benchmark missing from the NEW report into
+// a failure (a deleted benchmark can hide a regression).
 package main
 
 import (
@@ -61,11 +76,15 @@ type finding struct {
 	base, new     float64
 	rel           float64 // (new-base)/base, 0 for absolute checks
 	hard          bool    // allocs/op absolute check
+	zeroBase      bool    // absolute check against a zero baseline
 }
 
 func (f finding) String() string {
-	if f.hard {
+	switch {
+	case f.hard:
 		return fmt.Sprintf("FAIL %s %s: %g -> %g (hard allocation gate)", f.bench, f.metric, f.base, f.new)
+	case f.zeroBase:
+		return fmt.Sprintf("FAIL %s %s: %g -> %g (zero baseline, absolute gate)", f.bench, f.metric, f.base, f.new)
 	}
 	return fmt.Sprintf("FAIL %s %s: %g -> %g (%+.1f%%)", f.bench, f.metric, f.base, f.new, 100*f.rel)
 }
@@ -74,11 +93,14 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchdiff: ")
 	var (
-		basePath    = flag.String("base", "", "baseline benchjson report (required)")
-		newPath     = flag.String("new", "", "candidate benchjson report (required)")
-		tol         = flag.Float64("tol", 0.25, "allowed relative increase for timing/size metrics (0.25 = +25%)")
-		allocsSlack = flag.Float64("allocs-slack", 0, "allowed absolute increase in allocs/op before hard-failing")
-		strict      = flag.Bool("strict", false, "fail when a baseline benchmark is missing from the new report")
+		basePath     = flag.String("base", "", "baseline benchjson report (required)")
+		newPath      = flag.String("new", "", "candidate benchjson report (required)")
+		tol          = flag.Float64("tol", 0.25, "allowed relative increase for timing/size metrics (0.25 = +25%)")
+		allocsSlack  = flag.Float64("allocs-slack", 0, "allowed absolute increase in allocs/op before hard-failing")
+		allocsRel    = flag.Float64("allocs-rel", 0.05, "additional allowed allocs/op increase as a fraction of the baseline (absorbs setup amortization on short runs)")
+		zeroTol      = flag.Float64("zero-tol", 0, "allowed absolute increase for metrics whose baseline is zero (relative tolerance is undefined there)")
+		minTimeIters = flag.Int64("min-time-iters", 100, "skip ns/op comparison when either run executed fewer iterations than this (short runs measure overhead, not the op)")
+		strict       = flag.Bool("strict", false, "fail when a baseline benchmark is missing from the new report")
 	)
 	flag.Parse()
 	if *basePath == "" || *newPath == "" {
@@ -93,7 +115,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	findings, missing, added := diff(base, cand, *tol, *allocsSlack)
+	findings, missing, added := diff(base, cand, gates{
+		tol:          *tol,
+		allocsSlack:  *allocsSlack,
+		allocsRel:    *allocsRel,
+		zeroTol:      *zeroTol,
+		minTimeIters: *minTimeIters,
+	})
 
 	for _, m := range missing {
 		fmt.Printf("missing from %s: %s\n", *newPath, m)
@@ -125,9 +153,19 @@ func index(rep *Report) map[string]Result {
 	return m
 }
 
+// gates bundles the comparison thresholds (see the package doc and flag
+// help for what each one means and defends against).
+type gates struct {
+	tol          float64 // relative increase allowed on timing/size metrics
+	allocsSlack  float64 // absolute allocs/op increase allowed
+	allocsRel    float64 // proportional allocs/op increase allowed
+	zeroTol      float64 // absolute increase allowed over a zero baseline
+	minTimeIters int64   // ns/op compared only when both runs have ≥ this many iterations
+}
+
 // diff compares every baseline benchmark that also exists in the candidate
 // report. Returned findings are sorted by benchmark then metric.
-func diff(base, cand *Report, tol, allocsSlack float64) (findings []finding, missing, added []string) {
+func diff(base, cand *Report, g gates) (findings []finding, missing, added []string) {
 	cIdx := index(cand)
 	bIdx := index(base)
 	for _, b := range base.Benchmarks {
@@ -147,18 +185,40 @@ func diff(base, cand *Report, tol, allocsSlack float64) (findings []finding, mis
 			if !ok {
 				continue // metric not captured in the candidate run
 			}
+			short := b.Iterations < g.minTimeIters || c.Iterations < g.minTimeIters
 			if name == "allocs/op" {
-				if cv > bv+allocsSlack {
+				// A short run divides one-time setup (pool fills, lazily
+				// built plans) across few iterations, inflating per-op
+				// counts of allocation-heavy benchmarks — but it still
+				// certifies allocation-freeness exactly: a clean timed
+				// loop measures 0 at any iteration count. So on short
+				// runs, only zero baselines are gated.
+				if short && bv > 0 {
+					continue
+				}
+				if cv > bv+g.allocsSlack+g.allocsRel*bv {
 					findings = append(findings, finding{bench: key(b), metric: name, base: bv, new: cv, hard: true})
 				}
 				continue
 			}
-			// Relative gate; tiny baselines (sub-ns, zero B/op) are all
-			// noise, skip them rather than fail on 0 → 1.
-			if bv <= 0 {
+			// Per-op time from a handful of iterations is dominated by
+			// timer granularity and one-time setup; comparing it against a
+			// converged baseline reports a phantom regression of several
+			// thousand percent on nanosecond-scale benchmarks.
+			if name == "ns/op" && short {
 				continue
 			}
-			if rel := (cv - bv) / bv; rel > tol {
+			// A zero baseline breaks the relative gate ((cv-bv)/bv is
+			// ±Inf/NaN); silently skipping it — the old behavior — let a
+			// hard-won 0 B/op steady state regress unnoticed. Treat it as
+			// an absolute difference against -zero-tol instead.
+			if bv <= 0 {
+				if cv > bv+g.zeroTol {
+					findings = append(findings, finding{bench: key(b), metric: name, base: bv, new: cv, zeroBase: true})
+				}
+				continue
+			}
+			if rel := (cv - bv) / bv; rel > g.tol {
 				findings = append(findings, finding{bench: key(b), metric: name, base: bv, new: cv, rel: rel})
 			}
 		}

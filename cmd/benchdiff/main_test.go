@@ -5,7 +5,7 @@ import "testing"
 func rep(benches ...Result) *Report { return &Report{Benchmarks: benches} }
 
 func bench(pkg, name string, ns, bytes, allocs float64) Result {
-	return Result{Name: name, Pkg: pkg, Metrics: map[string]float64{
+	return Result{Name: name, Pkg: pkg, Iterations: 1_000_000, Metrics: map[string]float64{
 		"ns/op":     ns,
 		"B/op":      bytes,
 		"allocs/op": allocs,
@@ -15,7 +15,7 @@ func bench(pkg, name string, ns, bytes, allocs float64) Result {
 func TestDiffWithinTolerancePasses(t *testing.T) {
 	base := rep(bench("pkg/a", "BenchmarkX", 100, 64, 3))
 	cand := rep(bench("pkg/a", "BenchmarkX", 120, 70, 3))
-	findings, missing, added := diff(base, cand, 0.25, 0)
+	findings, missing, added := diff(base, cand, gates{tol: 0.25})
 	if len(findings) != 0 || len(missing) != 0 || len(added) != 0 {
 		t.Fatalf("expected clean diff, got findings=%v missing=%v added=%v", findings, missing, added)
 	}
@@ -24,7 +24,7 @@ func TestDiffWithinTolerancePasses(t *testing.T) {
 func TestDiffTimingRegressionFails(t *testing.T) {
 	base := rep(bench("pkg/a", "BenchmarkX", 100, 64, 3))
 	cand := rep(bench("pkg/a", "BenchmarkX", 200, 64, 3))
-	findings, _, _ := diff(base, cand, 0.25, 0)
+	findings, _, _ := diff(base, cand, gates{tol: 0.25})
 	if len(findings) != 1 {
 		t.Fatalf("expected one finding, got %v", findings)
 	}
@@ -37,21 +37,113 @@ func TestDiffTimingRegressionFails(t *testing.T) {
 	}
 }
 
+// TestDiffTimingSkippedOnShortRuns pins the iteration guard: per-op time
+// from a -benchtime=10x quick pass is timer granularity plus amortized
+// setup, not the operation, so comparing it against a converged baseline
+// manufactured phantom +10000% regressions on nanosecond-scale
+// benchmarks. Other metrics keep their gates.
+func TestDiffTimingSkippedOnShortRuns(t *testing.T) {
+	base := rep(bench("pkg/a", "BenchmarkX", 17, 64, 3))
+	short := bench("pkg/a", "BenchmarkX", 2251, 64, 3)
+	short.Iterations = 10
+	cand := rep(short)
+
+	findings, _, _ := diff(base, cand, gates{tol: 0.25, minTimeIters: 100})
+	if len(findings) != 0 {
+		t.Fatalf("short-run ns/op should be skipped, got %v", findings)
+	}
+
+	// The guard is about iteration count, not direction: a short BASE
+	// run is just as meaningless.
+	findings, _, _ = diff(cand, base, gates{tol: 0.25, minTimeIters: 100})
+	if len(findings) != 0 {
+		t.Fatalf("short-base ns/op should be skipped, got %v", findings)
+	}
+
+	// A converged run with the same growth still fails.
+	slow := bench("pkg/a", "BenchmarkX", 2251, 64, 3)
+	findings, _, _ = diff(base, rep(slow), gates{tol: 0.25, minTimeIters: 100})
+	if len(findings) != 1 || findings[0].metric != "ns/op" {
+		t.Fatalf("converged ns/op regression must still fail, got %v", findings)
+	}
+
+	// B/op on the short run is still gated — only timing is skipped.
+	short.Metrics["B/op"] = 1000
+	findings, _, _ = diff(base, rep(short), gates{tol: 0.25, minTimeIters: 100})
+	if len(findings) != 1 || findings[0].metric != "B/op" {
+		t.Fatalf("expected B/op finding on the short run, got %v", findings)
+	}
+}
+
+// TestDiffShortRunAllocsGateOnlyZeroBaselines: a short run reports
+// amortized setup on top of real per-op allocation counts (base 1 showed
+// up as 12 at -benchtime=10x), so allocation-heavy benchmarks are not
+// gated there — but a zero-alloc hot path measures exactly 0 at any
+// iteration count, so its gate holds even on the quickest pass.
+func TestDiffShortRunAllocsGateOnlyZeroBaselines(t *testing.T) {
+	heavy := bench("pkg/a", "BenchmarkSetupHeavy", 100, 64, 12)
+	heavy.Iterations = 10
+	base := rep(bench("pkg/a", "BenchmarkSetupHeavy", 100, 64, 1))
+	if findings, _, _ := diff(base, rep(heavy), gates{tol: 100, minTimeIters: 100}); len(findings) != 0 {
+		t.Fatalf("nonzero-baseline allocs must be skipped on short runs, got %v", findings)
+	}
+
+	hot := bench("pkg/a", "BenchmarkHot", 100, 0, 7)
+	hot.Iterations = 10
+	base = rep(bench("pkg/a", "BenchmarkHot", 100, 0, 0))
+	findings, _, _ := diff(base, rep(hot), gates{tol: 100, minTimeIters: 100})
+	if len(findings) != 1 || !findings[0].hard || findings[0].metric != "allocs/op" {
+		t.Fatalf("zero-baseline allocs must stay gated on short runs, got %v", findings)
+	}
+}
+
 func TestDiffAllocsHardGate(t *testing.T) {
 	base := rep(bench("pkg/a", "BenchmarkX", 100, 64, 3))
 
-	// Growth within slack passes.
+	// Growth within the absolute slack passes.
 	cand := rep(bench("pkg/a", "BenchmarkX", 100, 64, 5))
-	if findings, _, _ := diff(base, cand, 0.25, 2); len(findings) != 0 {
+	if findings, _, _ := diff(base, cand, gates{tol: 0.25, allocsSlack: 2}); len(findings) != 0 {
 		t.Fatalf("allocs growth within slack should pass, got %v", findings)
 	}
 
 	// Growth beyond slack fails regardless of how generous the relative
 	// tolerance is — the alloc gate is absolute.
 	cand = rep(bench("pkg/a", "BenchmarkX", 100, 64, 6))
-	findings, _, _ := diff(base, cand, 100, 2)
+	findings, _, _ := diff(base, cand, gates{tol: 100, allocsSlack: 2})
 	if len(findings) != 1 || !findings[0].hard || findings[0].metric != "allocs/op" {
 		t.Fatalf("expected hard allocs/op finding, got %v", findings)
+	}
+}
+
+// TestDiffAllocsProportionalSlack pins the proportional term: a
+// setup-heavy benchmark at thousands of allocs/op drifts a few percent
+// with iteration count (pool fills and plan caches amortize differently
+// on a short run), which no flat slack can absorb without also giving a
+// zero-alloc hot path that much headroom.
+func TestDiffAllocsProportionalSlack(t *testing.T) {
+	base := rep(bench("pkg/a", "BenchmarkBig", 100, 64, 4000))
+	g := gates{tol: 0.25, allocsSlack: 8, allocsRel: 0.05}
+
+	// 4% drift on a 4000-alloc benchmark: inside 8 + 5%·4000.
+	cand := rep(bench("pkg/a", "BenchmarkBig", 100, 64, 4160))
+	if findings, _, _ := diff(base, cand, g); len(findings) != 0 {
+		t.Fatalf("drift within proportional slack should pass, got %v", findings)
+	}
+
+	// 10% growth fails.
+	cand = rep(bench("pkg/a", "BenchmarkBig", 100, 64, 4400))
+	findings, _, _ := diff(base, cand, g)
+	if len(findings) != 1 || !findings[0].hard {
+		t.Fatalf("expected hard allocs/op finding, got %v", findings)
+	}
+
+	// The proportional term gives a zero-alloc hot path nothing: any
+	// increase beyond the absolute slack still fails.
+	base = rep(bench("pkg/a", "BenchmarkHot", 100, 0, 0))
+	cand = rep(bench("pkg/a", "BenchmarkHot", 100, 0, 9))
+	findings, _, _ = diff(base, cand, g)
+	if len(findings) != 1 || !findings[0].hard {
+		t.Fatalf("zero-alloc path must keep the absolute gate, got %v", findings)
 	}
 }
 
@@ -64,7 +156,7 @@ func TestDiffMissingAndAdded(t *testing.T) {
 		bench("pkg/a", "BenchmarkKept", 100, 0, 0),
 		bench("pkg/b", "BenchmarkNew", 50, 0, 0),
 	)
-	findings, missing, added := diff(base, cand, 0.25, 0)
+	findings, missing, added := diff(base, cand, gates{tol: 0.25})
 	if len(findings) != 0 {
 		t.Fatalf("unexpected findings %v", findings)
 	}
@@ -76,20 +168,46 @@ func TestDiffMissingAndAdded(t *testing.T) {
 	}
 }
 
-func TestDiffZeroBaselineSkipped(t *testing.T) {
-	// A zero baseline (e.g. 0 B/op) cannot support a relative gate; 0 -> 16
-	// must not fail the build on noise-level allocator changes.
-	base := rep(bench("pkg/a", "BenchmarkX", 100, 0, 0))
-	cand := rep(bench("pkg/a", "BenchmarkX", 100, 16, 0))
-	if findings, _, _ := diff(base, cand, 0.25, 0); len(findings) != 0 {
-		t.Fatalf("zero baseline should be skipped, got %v", findings)
+// TestDiffZeroBaselineAbsoluteGate is the regression test for the
+// divide-by-baseline bug: a zero baseline used to be skipped entirely, so
+// a benchmark that had earned 0 B/op could regress to any size unnoticed.
+// Zero baselines are now held to the -zero-tol absolute increase.
+func TestDiffZeroBaselineAbsoluteGate(t *testing.T) {
+	cases := []struct {
+		name         string
+		baseB, candB float64
+		zeroTol      float64
+		wantFindings int
+	}{
+		{name: "growth from zero fails at zero-tol 0", baseB: 0, candB: 16, zeroTol: 0, wantFindings: 1},
+		{name: "growth within zero-tol passes", baseB: 0, candB: 16, zeroTol: 64, wantFindings: 0},
+		{name: "growth beyond zero-tol fails", baseB: 0, candB: 128, zeroTol: 64, wantFindings: 1},
+		{name: "zero stays zero passes", baseB: 0, candB: 0, zeroTol: 0, wantFindings: 0},
+		{name: "negative baseline uses absolute gate too", baseB: -1, candB: 10, zeroTol: 4, wantFindings: 1},
+		{name: "nonzero baseline keeps the relative gate", baseB: 64, candB: 70, zeroTol: 0, wantFindings: 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := rep(bench("pkg/a", "BenchmarkX", 100, tc.baseB, 0))
+			cand := rep(bench("pkg/a", "BenchmarkX", 100, tc.candB, 0))
+			findings, _, _ := diff(base, cand, gates{tol: 0.25, zeroTol: tc.zeroTol})
+			if len(findings) != tc.wantFindings {
+				t.Fatalf("findings = %v, want %d", findings, tc.wantFindings)
+			}
+			if tc.wantFindings == 1 {
+				f := findings[0]
+				if f.metric != "B/op" || !f.zeroBase || f.hard {
+					t.Fatalf("finding = %+v, want zero-baseline B/op gate", f)
+				}
+			}
+		})
 	}
 }
 
 func TestDiffImprovementNeverFails(t *testing.T) {
 	base := rep(bench("pkg/a", "BenchmarkX", 100, 640, 30))
 	cand := rep(bench("pkg/a", "BenchmarkX", 10, 64, 3))
-	if findings, _, _ := diff(base, cand, 0.0, 0); len(findings) != 0 {
+	if findings, _, _ := diff(base, cand, gates{}); len(findings) != 0 {
 		t.Fatalf("improvements should pass even at tol=0, got %v", findings)
 	}
 }

@@ -12,6 +12,7 @@
 //	paperbench -massif       measured MASSIF per-iteration communication, Alg. 1 vs Alg. 2
 //	paperbench -faults       fault-injection study: lossy-fabric convolution + crashed MASSIF solve
 //	paperbench -chaos        self-healing study: crash/straggler/OOM schedules against the healing solve
+//	paperbench -serve-load   §3.1 serving: seeded open-loop load against the steady-state engine
 //	paperbench -all          everything above
 package main
 
@@ -53,6 +54,7 @@ func main() {
 		chaos   = flag.Bool("chaos", false, "self-healing study: crash/straggler/OOM schedules against the healing solve")
 		fleet   = flag.Bool("fleet", false, "DGX-2 batch-throughput model (§5.1 batching claim)")
 		sweep   = flag.Bool("sweep", false, "measured accuracy/compression tradeoff across far rates (§5.4)")
+		sLoad   = flag.Bool("serve-load", false, "seeded open-loop load against the steady-state serving engine (§3.1)")
 		all     = flag.Bool("all", false, "run everything")
 		traceTo = flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto JSON) of the run to this file")
 		serve   = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /flight, /debug/pprof) on this address, e.g. :8080, and block after the run")
@@ -115,6 +117,7 @@ func main() {
 	run(*chaos, chaosStudy)
 	run(*fleet, fleetStudy)
 	run(*sweep, rateSweep)
+	run(*sLoad, serveLoadStudy)
 	if !ran && *serve == "" {
 		flag.Usage()
 		os.Exit(2)

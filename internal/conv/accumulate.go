@@ -2,6 +2,7 @@ package conv
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"lowcomm3d/internal/fft"
 	"lowcomm3d/internal/green"
@@ -72,6 +73,12 @@ type DecomposedStats struct {
 	MaxPeakBytes    int // worst per-sub-domain working set
 	CompressionMean float64
 	SkippedZero     int // sub-domains skipped because their input is identically zero
+
+	// MaxLiveSubFields is the high-water count of simultaneously-live
+	// extracted sub-field copies. Extraction is lazy — inside the worker
+	// loop — so this stays ≤ the Parallel worker count instead of the
+	// job count (also exported as the conv.live_subfields trace gauge).
+	MaxLiveSubFields int
 }
 
 // Run convolves the full field f with the configured kernel using the
@@ -84,22 +91,15 @@ func (dc Decomposed) Run(f *grid.Field) (*grid.Field, DecomposedStats, error) {
 	}
 	// Zero sub-domains convolve to zero: skip them entirely — the "zero
 	// regions" structure the paper's intro lists among the exploitable
-	// properties. Sparse inputs touch only a few sub-domains.
-	type job struct {
-		box   grid.Box
-		field *grid.Field
-	}
-	var jobs []job
+	// properties. Sparse inputs touch only a few sub-domains. The scan
+	// reads f in place; no copies are made until a worker runs the job.
+	var jobs []grid.Box
 	for _, b := range boxes {
-		subField, err := f.ExtractBox(b)
-		if err != nil {
-			return nil, ds, err
-		}
-		if allZero(subField.Data) {
+		if f.BoxAllZero(b) {
 			ds.SkippedZero++
 			continue
 		}
-		jobs = append(jobs, job{box: b, field: subField})
+		jobs = append(jobs, b)
 	}
 	results := make([]*sample.Compressed, len(jobs))
 	stats := make([]Stats, len(jobs))
@@ -107,29 +107,48 @@ func (dc Decomposed) Run(f *grid.Field) (*grid.Field, DecomposedStats, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	// Sub-fields are extracted lazily inside the worker loop, so the peak
+	// count of live k³ input copies is the number of active workers — not
+	// the job count, which for a dense input is (N/k)³ copies of the
+	// whole field's worth of data before any job runs.
+	var live, liveMax atomic.Int64
 	var ec fft.FirstError
 	fft.ParallelFor(len(jobs), workers, func(_, i int) {
 		if ec.Failed() {
 			return
 		}
-		j := jobs[i]
+		box := jobs[i]
 		var tree *octree.Tree
 		var err error
 		if dc.TreeFor != nil {
-			tree, err = dc.TreeFor(j.box, f.Dim)
+			tree, err = dc.TreeFor(box, f.Dim)
 		} else {
-			tree, err = sample.DefaultPolicy(j.box, dc.FarRate).Tree(f.Dim)
+			tree, err = sample.DefaultPolicy(box, dc.FarRate).Tree(f.Dim)
 		}
 		if err != nil {
 			ec.Record(err)
 			return
 		}
-		local, err := NewLocal(f.Dim, j.box, tree, KernelPointwise(f.Dim, dc.Kernel), dc.Cfg)
+		local, err := NewLocal(f.Dim, box, tree, KernelPointwise(f.Dim, dc.Kernel), dc.Cfg)
 		if err != nil {
 			ec.Record(err)
 			return
 		}
-		res, st, err := local.Run(j.field)
+		cur := live.Add(1)
+		for {
+			m := liveMax.Load()
+			if cur <= m || liveMax.CompareAndSwap(m, cur) {
+				break
+			}
+		}
+		subField, err := f.ExtractBox(box)
+		if err != nil {
+			live.Add(-1)
+			ec.Record(err)
+			return
+		}
+		res, st, err := local.Run(subField)
+		live.Add(-1)
 		if err != nil {
 			ec.Record(err)
 			return
@@ -140,6 +159,8 @@ func (dc Decomposed) Run(f *grid.Field) (*grid.Field, DecomposedStats, error) {
 	if err := ec.Err(); err != nil {
 		return nil, ds, err
 	}
+	ds.MaxLiveSubFields = int(liveMax.Load())
+	dc.Cfg.Trace.Gauge("conv.live_subfields").Max(liveMax.Load())
 	for _, st := range stats {
 		ds.PerSub = append(ds.PerSub, st)
 		ds.TotalSamples += st.SampleCount
@@ -226,14 +247,4 @@ func (dc Decomposed) RunAdaptive(f *grid.Field, minK int) (*grid.Field, Decompos
 		return nil, ds, err
 	}
 	return out, ds, nil
-}
-
-// allZero reports whether every element of xs is exactly zero.
-func allZero(xs []float64) bool {
-	for _, x := range xs {
-		if x != 0 {
-			return false
-		}
-	}
-	return true
 }

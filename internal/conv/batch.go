@@ -3,7 +3,6 @@ package conv
 import (
 	"fmt"
 
-	"lowcomm3d/internal/fft"
 	"lowcomm3d/internal/grid"
 	"lowcomm3d/internal/octree"
 	"lowcomm3d/internal/sample"
@@ -37,26 +36,11 @@ func NewBatch(dim grid.Dim3, boxes []grid.Box, treeFor TreeFactory, pw Pointwise
 	}
 	k := boxes[0].Hi[0] - boxes[0].Lo[0]
 	b := &Batch{dim: dim}
-	// Shared plans, built once.
-	plan2d, err := fft.NewPlan2D(dim.Nx, dim.Ny, cfg.Workers)
+	// Shared plans, built once (PlanSet is the exported form of this
+	// construction; internal/serve caches the same sets across jobs).
+	ps, err := NewPlanSet(dim, k, cfg.Workers, cfg.Pruned)
 	if err != nil {
 		return nil, err
-	}
-	planZ, err := fft.NewPlan(dim.Nz)
-	if err != nil {
-		return nil, err
-	}
-	var prunedZ, prunedX, prunedY *fft.PrunedPlan
-	if cfg.Pruned {
-		if prunedZ, err = fft.NewPrunedPlan(dim.Nz, k); err != nil {
-			return nil, err
-		}
-		if prunedX, err = fft.NewPrunedPlan(dim.Nx, k); err != nil {
-			return nil, err
-		}
-		if prunedY, err = fft.NewPrunedPlan(dim.Ny, k); err != nil {
-			return nil, err
-		}
 	}
 	for _, box := range boxes {
 		s := box.Size()
@@ -67,16 +51,10 @@ func NewBatch(dim grid.Dim3, boxes []grid.Box, treeFor TreeFactory, pw Pointwise
 		if err != nil {
 			return nil, err
 		}
-		local, err := NewLocal(dim, box, tree, pw, cfg)
+		local, err := ps.NewLocal(box, tree, pw, cfg)
 		if err != nil {
 			return nil, err
 		}
-		// Swap in the shared plans (identical parameters by construction).
-		local.plan2d = plan2d
-		local.planZ = planZ
-		local.prunedZ = prunedZ
-		local.prunedX = prunedX
-		local.prunedY = prunedY
 		b.locals = append(b.locals, local)
 	}
 	return b, nil

@@ -107,9 +107,27 @@ type Local struct {
 	zSlot  map[int]int
 
 	// Reused working buffers (Run is therefore not safe for concurrent
-	// use on one Local; create one Local per goroutine).
+	// use on one Local; create one Local per goroutine). scratch holds the
+	// per-worker pencil/line buffers for stages A and B, allocated once so
+	// a warm Run performs no heap allocations.
 	slabBuf   []complex128
 	planesBuf []complex128
+	scratch   []pencilScratch
+
+	// Fixed geometry, cached at construction.
+	n, k       int // grid edge, sub-domain edge
+	ox, oy, oz int // sub-domain low corner
+
+	// Per-run state read by the prebuilt worker funcs below. The funcs
+	// are method values bound once at construction: a closure literal in
+	// Run would be heap-allocated per call (its captures escape into
+	// ParallelForSpanned), which is exactly what the steady-state serving
+	// path cannot afford.
+	runIn  *grid.Field    // current job's input sub-field
+	bStart int            // current stage-B batch offset
+	ec     fft.FirstError // per-run first-error collector
+	fnA    func(w, zi int)
+	fnB    func(w, i int)
 
 	// Per-stage latency histograms, cached at construction so Run does no
 	// registry lookups (nil when cfg.Trace is nil; Observe is nil-safe).
@@ -121,10 +139,32 @@ type gatherPoint struct {
 	sample int32
 }
 
+// pencilScratch is one worker's reusable line buffers: spec/inv/line are
+// full length-n lines, sub/row are k-length gathers.
+type pencilScratch struct {
+	spec, inv, line []complex128 // length n
+	sub, row        []complex128 // length k
+}
+
 // NewLocal builds a local-convolution pipeline for sub-domain box sub of
 // an N³ grid (dim), with the sampling octree tree (typically from
-// sample.Policy) and the frequency-domain callback pw.
+// sample.Policy) and the frequency-domain callback pw. The transform plans
+// are built privately; use PlanSet.NewLocal to share them across pipelines
+// of the same shape.
 func NewLocal(dim grid.Dim3, sub grid.Box, tree *octree.Tree, pw Pointwise, cfg Config) (*Local, error) {
+	s := sub.Size()
+	if s[0] != s[1] || s[1] != s[2] {
+		return nil, fmt.Errorf("conv: sub-domain %v must be cubic", sub)
+	}
+	ps, err := NewPlanSet(dim, s[0], cfg.Workers, cfg.Pruned)
+	if err != nil {
+		return nil, err
+	}
+	return newLocal(dim, sub, tree, pw, cfg, ps)
+}
+
+// newLocal finishes pipeline construction on top of an existing plan set.
+func newLocal(dim grid.Dim3, sub grid.Box, tree *octree.Tree, pw Pointwise, cfg Config, ps *PlanSet) (*Local, error) {
 	if dim.Nx != dim.Ny || dim.Ny != dim.Nz {
 		return nil, fmt.Errorf("conv: grid %v must be cubic", dim)
 	}
@@ -141,23 +181,29 @@ func NewLocal(dim grid.Dim3, sub grid.Box, tree *octree.Tree, pw Pointwise, cfg 
 	n := dim.Nx
 	k := s[0]
 	l := &Local{dim: dim, sub: sub, pw: pw, tree: tree, cfg: cfg}
-	var err error
-	if l.plan2d, err = fft.NewPlan2D(n, n, cfg.Workers); err != nil {
-		return nil, err
+	l.plan2d = ps.plan2d
+	l.planZ = ps.planZ
+	l.prunedZ = ps.prunedZ
+	l.prunedX = ps.prunedX
+	l.prunedY = ps.prunedY
+	workers := fft.Workers(cfg.Workers)
+	l.scratch = make([]pencilScratch, workers)
+	for w := range l.scratch {
+		l.scratch[w] = pencilScratch{
+			spec: make([]complex128, n),
+			inv:  make([]complex128, n),
+			line: make([]complex128, n),
+			sub:  make([]complex128, k),
+			row:  make([]complex128, k),
+		}
 	}
-	if l.planZ, err = fft.NewPlan(n); err != nil {
-		return nil, err
-	}
+	l.n, l.k = n, k
+	l.ox, l.oy, l.oz = sub.Lo[0], sub.Lo[1], sub.Lo[2]
+	l.fnB = l.pencilWorker
 	if cfg.Pruned {
-		if l.prunedZ, err = fft.NewPrunedPlan(n, k); err != nil {
-			return nil, err
-		}
-		if l.prunedX, err = fft.NewPrunedPlan(n, k); err != nil {
-			return nil, err
-		}
-		if l.prunedY, err = fft.NewPrunedPlan(n, k); err != nil {
-			return nil, err
-		}
+		l.fnA = l.slabPlanePruned
+	} else {
+		l.fnA = l.slabPlanePadded
 	}
 	l.buildSampleIndex()
 	l.hA = cfg.Trace.Histogram("conv.stage_a_seconds")
@@ -196,14 +242,23 @@ func (l *Local) Tree() *octree.Tree { return l.tree }
 // Run convolves the k³ sub-domain field (dimensions equal to the
 // sub-domain box) and returns the compressed result plus footprint stats.
 func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
+	return l.RunInto(subField, nil)
+}
+
+// RunInto is Run with an optional caller-provided output arena: when out
+// was built for this pipeline's tree (same tree, full sample storage), its
+// samples are overwritten in place and no output allocation happens — the
+// steady-state path of a serving engine recycling result buffers. Any
+// other out (nil included) falls back to a fresh allocation.
+func (l *Local) RunInto(subField *grid.Field, out *sample.Compressed) (*sample.Compressed, Stats, error) {
 	var st Stats
 	s := l.sub.Size()
 	if (grid.Dim3{Nx: s[0], Ny: s[1], Nz: s[2]}) != subField.Dim {
 		return nil, st, fmt.Errorf("conv: sub field %v does not match box %v", subField.Dim, l.sub)
 	}
-	n := l.dim.Nx
-	k := s[0]
-	ox, oy, oz := l.sub.Lo[0], l.sub.Lo[1], l.sub.Lo[2]
+	n, k := l.n, l.k
+	l.runIn = subField
+	l.ec.Reset()
 	run := l.cfg.Trace.Start("conv.run")
 	defer run.End()
 
@@ -219,11 +274,11 @@ func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
 			l.slabBuf[i] = 0
 		}
 	}
-	slab := l.slabBuf
-	if err := l.slabForward(spanA, slab, subField, n, k, ox, oy); err != nil {
+	if err := l.slabForward(spanA); err != nil {
 		spanA.End()
 		return nil, st, err
 	}
+	l.runIn = nil // input is only read in stage A; don't retain it
 	l.hA.Observe(spanA.End())
 	st.SlabBytes = 16 * n * n * k
 
@@ -245,67 +300,14 @@ func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
 		batch = n * n
 	}
 	workers := fft.Workers(l.cfg.Workers)
-	type ws struct {
-		spec, inv, scratch []complex128
-		sub                []complex128
-	}
-	scratch := make([]ws, workers)
-	for w := range scratch {
-		scratch[w] = ws{
-			spec:    make([]complex128, n),
-			inv:     make([]complex128, n),
-			scratch: make([]complex128, n),
-			sub:     make([]complex128, k),
-		}
-	}
-	var ec fft.FirstError
 	for start := 0; start < n*n; start += batch {
 		end := start + batch
 		if end > n*n {
 			end = n * n
 		}
-		fft.ParallelForSpanned(spanB, "conv.stageB.worker", end-start, workers, func(w, i int) {
-			if ec.Failed() {
-				return
-			}
-			p := start + i
-			x := p % n
-			y := p / n
-			sc := &scratch[w]
-			// Gather the k nonzero z values of this pencil.
-			for zi := 0; zi < k; zi++ {
-				sc.sub[zi] = slab[zi*n*n+p]
-			}
-			// Forward z transform with implicit zero padding.
-			if l.cfg.Pruned {
-				if err := l.prunedZ.Forward(sc.spec, sc.sub, oz, sc.scratch); err != nil {
-					ec.Record(err)
-					return
-				}
-			} else {
-				for j := range sc.spec {
-					sc.spec[j] = 0
-				}
-				copy(sc.spec[oz:oz+k], sc.sub)
-				if err := l.planZ.Forward(sc.spec, sc.spec); err != nil {
-					ec.Record(err)
-					return
-				}
-			}
-			// Pointwise kernel multiply — the cuFFT-callback stage.
-			for kz := 0; kz < n; kz++ {
-				sc.spec[kz] = l.pw(x, y, kz, sc.spec[kz])
-			}
-			// Inverse z transform; scatter only the sampled planes.
-			if err := l.planZ.Inverse(sc.inv, sc.spec); err != nil {
-				ec.Record(err)
-				return
-			}
-			for slot, z := range l.keptZ {
-				planes[slot*n*n+p] = sc.inv[z]
-			}
-		})
-		if err := ec.Err(); err != nil {
+		l.bStart = start
+		fft.ParallelForSpanned(spanB, "conv.stageB.worker", end-start, workers, l.fnB)
+		if err := l.ec.Err(); err != nil {
 			spanB.End()
 			return nil, st, err
 		}
@@ -313,9 +315,12 @@ func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
 	l.hB.Observe(spanB.End())
 
 	// Stage C — inverse 2D transform of each kept plane, then gather the
-	// octree samples (the full 3D result is never materialized).
+	// octree samples (the full 3D result is never materialized). Every
+	// sample slot is rewritten below, so a recycled output needs no zeroing.
 	spanC := run.Start("conv.stageC")
-	out := sample.NewCompressed(l.tree)
+	if out == nil || out.Tree != l.tree || len(out.Samples) != l.tree.SampleCount() {
+		out = sample.NewCompressed(l.tree)
+	}
 	st.SampleCount = len(out.Samples)
 	for slot, z := range l.keptZ {
 		plane := planes[slot*n*n : (slot+1)*n*n]
@@ -351,63 +356,114 @@ func (l *Local) Run(subField *grid.Field) (*sample.Compressed, Stats, error) {
 }
 
 // slabForward fills the N×N×k slab with 2D transforms of the zero-padded
-// sub-domain slices. With pruning enabled, both 1D passes skip the
-// implicit zeros (x lines have support k at ox; after the x pass, y
-// columns have support k at oy).
-func (l *Local) slabForward(parent *obs.Span, slab []complex128, subField *grid.Field, n, k, ox, oy int) error {
+// sub-domain slices (read from l.runIn), dispatching the prebuilt padded
+// or pruned per-plane worker.
+func (l *Local) slabForward(parent *obs.Span) error {
 	workers := fft.Workers(l.cfg.Workers)
-	if !l.cfg.Pruned {
-		var ec fft.FirstError
-		fft.ParallelForSpanned(parent, "conv.stageA.worker", k, workers, func(w, zi int) {
-			if ec.Failed() {
-				return
-			}
-			plane := slab[zi*n*n : (zi+1)*n*n]
-			for yy := 0; yy < k; yy++ {
-				for xx := 0; xx < k; xx++ {
-					plane[(oy+yy)*n+(ox+xx)] = complex(subField.At(xx, yy, zi), 0)
-				}
-			}
-			if err := l.plan2d.ForwardPlane(plane); err != nil {
-				ec.Record(err)
-			}
-		})
-		return ec.Err()
+	fft.ParallelForSpanned(parent, "conv.stageA.worker", l.k, workers, l.fnA)
+	return l.ec.Err()
+}
+
+// slabPlanePadded is the stage-A worker for the dense path: scatter one
+// sub-domain slice into its zero plane and 2D-transform it.
+func (l *Local) slabPlanePadded(w, zi int) {
+	if l.ec.Failed() {
+		return
 	}
-	var ec fft.FirstError
-	fft.ParallelForSpanned(parent, "conv.stageA.worker", k, workers, func(w, zi int) {
-		if ec.Failed() {
+	n, k, ox, oy := l.n, l.k, l.ox, l.oy
+	plane := l.slabBuf[zi*n*n : (zi+1)*n*n]
+	for yy := 0; yy < k; yy++ {
+		for xx := 0; xx < k; xx++ {
+			plane[(oy+yy)*n+(ox+xx)] = complex(l.runIn.At(xx, yy, zi), 0)
+		}
+	}
+	if err := l.plan2d.ForwardPlane(plane); err != nil {
+		l.ec.Record(err)
+	}
+}
+
+// slabPlanePruned is the stage-A worker for the input-pruned path: both
+// 1D passes skip the implicit zeros (x lines have support k at ox; after
+// the x pass, y columns have support k at oy).
+func (l *Local) slabPlanePruned(w, zi int) {
+	if l.ec.Failed() {
+		return
+	}
+	n, k, ox, oy := l.n, l.k, l.ox, l.oy
+	plane := l.slabBuf[zi*n*n : (zi+1)*n*n]
+	// Reuse the worker's persistent line buffers (stage A and stage B
+	// never overlap, so sharing scratch with the pencil sweep is safe):
+	// row/sub are the two k-length gathers, line/spec the n-length lines.
+	sc := &l.scratch[w]
+	row, col, line, scratch := sc.row, sc.sub, sc.line, sc.spec
+	// Pruned x transforms on the k nonzero rows.
+	for yy := 0; yy < k; yy++ {
+		for xx := 0; xx < k; xx++ {
+			row[xx] = complex(l.runIn.At(xx, yy, zi), 0)
+		}
+		if err := l.prunedX.Forward(line, row, ox, scratch); err != nil {
+			l.ec.Record(err)
 			return
 		}
-		plane := slab[zi*n*n : (zi+1)*n*n]
-		row := make([]complex128, k)
-		line := make([]complex128, n)
-		scratch := make([]complex128, n)
-		// Pruned x transforms on the k nonzero rows.
+		copy(plane[(oy+yy)*n:(oy+yy)*n+n], line)
+	}
+	// Pruned y transforms on every column (support k at oy).
+	for xx := 0; xx < n; xx++ {
 		for yy := 0; yy < k; yy++ {
-			for xx := 0; xx < k; xx++ {
-				row[xx] = complex(subField.At(xx, yy, zi), 0)
-			}
-			if err := l.prunedX.Forward(line, row, ox, scratch); err != nil {
-				ec.Record(err)
-				return
-			}
-			copy(plane[(oy+yy)*n:(oy+yy)*n+n], line)
+			col[yy] = plane[(oy+yy)*n+xx]
 		}
-		// Pruned y transforms on every column (support k at oy).
-		col := make([]complex128, k)
-		for xx := 0; xx < n; xx++ {
-			for yy := 0; yy < k; yy++ {
-				col[yy] = plane[(oy+yy)*n+xx]
-			}
-			if err := l.prunedY.Forward(line, col, oy, scratch); err != nil {
-				ec.Record(err)
-				return
-			}
-			for yy := 0; yy < n; yy++ {
-				plane[yy*n+xx] = line[yy]
-			}
+		if err := l.prunedY.Forward(line, col, oy, scratch); err != nil {
+			l.ec.Record(err)
+			return
 		}
-	})
-	return ec.Err()
+		for yy := 0; yy < n; yy++ {
+			plane[yy*n+xx] = line[yy]
+		}
+	}
+}
+
+// pencilWorker is the stage-B worker: gather one (x, y) pencil's k slab
+// values, forward z transform (pruned or padded), pointwise kernel
+// multiply, inverse z transform, scatter the kept planes.
+func (l *Local) pencilWorker(w, i int) {
+	if l.ec.Failed() {
+		return
+	}
+	n := l.n
+	p := l.bStart + i
+	x := p % n
+	y := p / n
+	sc := &l.scratch[w]
+	// Gather the k nonzero z values of this pencil.
+	for zi := 0; zi < l.k; zi++ {
+		sc.sub[zi] = l.slabBuf[zi*n*n+p]
+	}
+	// Forward z transform with implicit zero padding.
+	if l.cfg.Pruned {
+		if err := l.prunedZ.Forward(sc.spec, sc.sub, l.oz, sc.line); err != nil {
+			l.ec.Record(err)
+			return
+		}
+	} else {
+		for j := range sc.spec {
+			sc.spec[j] = 0
+		}
+		copy(sc.spec[l.oz:l.oz+l.k], sc.sub)
+		if err := l.planZ.Forward(sc.spec, sc.spec); err != nil {
+			l.ec.Record(err)
+			return
+		}
+	}
+	// Pointwise kernel multiply — the cuFFT-callback stage.
+	for kz := 0; kz < n; kz++ {
+		sc.spec[kz] = l.pw(x, y, kz, sc.spec[kz])
+	}
+	// Inverse z transform; scatter only the sampled planes.
+	if err := l.planZ.Inverse(sc.inv, sc.spec); err != nil {
+		l.ec.Record(err)
+		return
+	}
+	for slot, z := range l.keptZ {
+		l.planesBuf[slot*n*n+p] = sc.inv[z]
+	}
 }

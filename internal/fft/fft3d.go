@@ -2,6 +2,7 @@ package fft
 
 import (
 	"fmt"
+	"sync"
 
 	"lowcomm3d/internal/grid"
 	"lowcomm3d/internal/obs"
@@ -151,6 +152,12 @@ type Plan2D struct {
 	nx, ny  int
 	px, py  *Plan
 	workers int
+
+	// scratch pools the single column-pass line buffer of the serial path,
+	// so repeated plane transforms (a serving engine's steady state) do no
+	// per-call heap allocation. The parallel path still allocates its
+	// per-worker scratch per call — goroutine spawns dominate there anyway.
+	scratch sync.Pool
 }
 
 // NewPlan2D creates a 2D plan for nx×ny planes.
@@ -168,7 +175,12 @@ func NewPlan2D(nx, ny, workers int) (*Plan2D, error) {
 			return nil, err
 		}
 	}
-	return &Plan2D{nx: nx, ny: ny, px: px, py: py, workers: Workers(workers)}, nil
+	p := &Plan2D{nx: nx, ny: ny, px: px, py: py, workers: Workers(workers)}
+	p.scratch.New = func() any {
+		s := make([]complex128, ny)
+		return &s
+	}
+	return p, nil
 }
 
 // ForwardPlane transforms one nx×ny plane (row-major, x fastest) in place.
@@ -180,6 +192,9 @@ func (p *Plan2D) InversePlane(plane []complex128) error { return p.plane(plane, 
 func (p *Plan2D) plane(plane []complex128, inverse bool) error {
 	if len(plane) != p.nx*p.ny {
 		return fmt.Errorf("fft: plane length %d != %d", len(plane), p.nx*p.ny)
+	}
+	if p.workers <= 1 {
+		return p.planeSerial(plane, inverse)
 	}
 	var ec FirstError
 	scratch := make([][]complex128, p.workers)
@@ -205,4 +220,35 @@ func (p *Plan2D) plane(plane []complex128, inverse bool) error {
 		}
 	})
 	return ec.Err()
+}
+
+// planeSerial is the single-worker plane transform: one pooled scratch
+// line, no goroutines, no per-call allocation.
+func (p *Plan2D) planeSerial(plane []complex128, inverse bool) error {
+	sp := p.scratch.Get().(*[]complex128)
+	defer p.scratch.Put(sp)
+	for y := 0; y < p.ny; y++ {
+		row := plane[y*p.nx : (y+1)*p.nx]
+		var err error
+		if inverse {
+			err = p.px.Inverse(row, row)
+		} else {
+			err = p.px.Forward(row, row)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	for x := 0; x < p.nx; x++ {
+		var err error
+		if inverse {
+			err = p.py.InverseStrided(plane, x, p.nx, *sp)
+		} else {
+			err = p.py.ForwardStrided(plane, x, p.nx, *sp)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

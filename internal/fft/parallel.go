@@ -123,6 +123,15 @@ func (f *FirstError) Record(err error) {
 	f.mu.Unlock()
 }
 
+// Reset clears any recorded error so the collector can be reused across
+// runs (long-lived pipelines keep one FirstError instead of allocating a
+// fresh collector per run).
+func (f *FirstError) Reset() {
+	f.mu.Lock()
+	f.err = nil
+	f.mu.Unlock()
+}
+
 // Err returns the first recorded error, or nil.
 func (f *FirstError) Err() error {
 	f.mu.Lock()

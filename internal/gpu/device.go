@@ -76,6 +76,41 @@ func (a *Allocation) Free() {
 	a.dev.mu.Unlock()
 }
 
+// Reserve charges bytes against the ledger without materializing an
+// Allocation. High-rate admission paths (internal/serve charges each
+// accepted job's modeled footprint) use it because an Allocation object
+// per job would itself be a heap allocation on the hot path. Every
+// successful Reserve must be paired with a Release of the same size.
+func (d *Device) Reserve(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("gpu: negative reservation %d", bytes)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.used+bytes > d.Capacity {
+		return fmt.Errorf("%w: need %d, free %d of %d (%s)",
+			ErrOutOfMemory, bytes, d.Capacity-d.used, d.Capacity, d.Name)
+	}
+	d.used += bytes
+	if d.used > d.peak {
+		d.peak = d.used
+	}
+	return nil
+}
+
+// Release returns bytes charged by a successful Reserve to the ledger.
+func (d *Device) Release(bytes int64) {
+	if bytes <= 0 {
+		return
+	}
+	d.mu.Lock()
+	d.used -= bytes
+	if d.used < 0 {
+		d.used = 0 // unpaired Release; clamp rather than corrupt the ledger
+	}
+	d.mu.Unlock()
+}
+
 // Used returns the bytes currently allocated.
 func (d *Device) Used() int64 {
 	d.mu.Lock()

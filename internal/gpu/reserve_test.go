@@ -1,0 +1,105 @@
+package gpu
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestReserveRelease(t *testing.T) {
+	d := &Device{Name: "test", Capacity: 100}
+	if err := d.Reserve(60); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Used(); got != 60 {
+		t.Fatalf("Used = %d, want 60", got)
+	}
+	if err := d.Reserve(50); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("overflow Reserve err = %v, want ErrOutOfMemory", err)
+	}
+	if got := d.Used(); got != 60 {
+		t.Fatalf("Used after failed Reserve = %d, want 60 (no partial charge)", got)
+	}
+	if err := d.Reserve(40); err != nil {
+		t.Fatalf("exact-fit Reserve: %v", err)
+	}
+	if got := d.Peak(); got != 100 {
+		t.Fatalf("Peak = %d, want 100", got)
+	}
+	d.Release(40)
+	d.Release(60)
+	if got := d.Used(); got != 0 {
+		t.Fatalf("Used after releases = %d, want 0", got)
+	}
+	// Unpaired release clamps rather than going negative, so a later
+	// Reserve still sees the true capacity.
+	d.Release(1000)
+	if got := d.Used(); got != 0 {
+		t.Fatalf("Used after unpaired Release = %d, want 0", got)
+	}
+	if err := d.Reserve(-1); err == nil {
+		t.Fatal("negative Reserve succeeded")
+	}
+}
+
+// TestReserveMixesWithAlloc pins that Reserve/Release and Alloc/Free share
+// one ledger: an admission-control reservation really does crowd out plan
+// allocations and vice versa.
+func TestReserveMixesWithAlloc(t *testing.T) {
+	d := &Device{Name: "test", Capacity: 100}
+	a, err := d.Alloc(70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Reserve(40); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("Reserve over Alloc err = %v, want ErrOutOfMemory", err)
+	}
+	a.Free()
+	if err := d.Reserve(40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Alloc(70); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("Alloc over Reserve err = %v, want ErrOutOfMemory", err)
+	}
+	d.Release(40)
+}
+
+func TestReserveConcurrent(t *testing.T) {
+	d := &Device{Name: "test", Capacity: 1000}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if err := d.Reserve(5); err == nil {
+					d.Release(5)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := d.Used(); got != 0 {
+		t.Fatalf("Used after concurrent reserve/release = %d, want 0", got)
+	}
+	if p := d.Peak(); p > 1000 {
+		t.Fatalf("Peak %d exceeded capacity", p)
+	}
+}
+
+// TestReserveHotPathAllocFree pins the reason Reserve exists at all: the
+// success path must not heap-allocate (Alloc returns a per-call
+// *Allocation, which is exactly what a per-job admission path cannot
+// afford).
+func TestReserveHotPathAllocFree(t *testing.T) {
+	d := &Device{Name: "test", Capacity: 1 << 20}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := d.Reserve(4096); err != nil {
+			t.Fatal(err)
+		}
+		d.Release(4096)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reserve/Release allocates %v objects per op, want 0", allocs)
+	}
+}

@@ -99,6 +99,25 @@ func (f *Field) Mean() float64 {
 	return f.Sum() / float64(len(f.Data))
 }
 
+// BoxAllZero reports whether every value inside box b (clipped to the
+// grid) is exactly zero, reading in place — the zero-sub-domain skip of
+// conv.Decomposed uses it to avoid materializing a copy just to test it.
+func (f *Field) BoxAllZero(b Box) bool {
+	b = b.Intersect(f.Dim.Bounds())
+	for z := b.Lo[2]; z < b.Hi[2]; z++ {
+		for y := b.Lo[1]; y < b.Hi[1]; y++ {
+			base := f.Dim.Index(b.Lo[0], y, z)
+			for x := b.Lo[0]; x < b.Hi[0]; x++ {
+				if f.Data[base] != 0 {
+					return false
+				}
+				base++
+			}
+		}
+	}
+	return true
+}
+
 // ExtractBox copies the values inside box b (which must lie within the
 // grid) into a freshly allocated field of the box's size.
 func (f *Field) ExtractBox(b Box) (*Field, error) {

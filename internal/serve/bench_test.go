@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"testing"
+
+	"lowcomm3d/internal/conv"
+	"lowcomm3d/internal/gpu"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/sample"
+)
+
+// BenchmarkServeSteadyState contrasts the engine's warm path (cached
+// plans, pooled pipeline state, recycled arenas — the steady state of a
+// long-running server) against the cold path that rebuilds the tree and
+// pipeline per job. CI gates allocs/op of the warm case via benchdiff.
+// Power-of-two shape: Bluestein (non-pow2) plans allocate internally and
+// would obscure the engine's own allocation behavior.
+func BenchmarkServeSteadyState(b *testing.B) {
+	dim := grid.Cube(32)
+	box := grid.CubeAt(grid.Point{8, 8, 8}, 8)
+	in := testField(8, 42)
+	kernel := green.Gaussian{Sigma: 1.5}
+
+	b.Run("warm", func(b *testing.B) {
+		e, err := New(Options{
+			Dim: dim, Kernel: kernel, FarRate: 8, Workers: 1,
+			Device: gpu.V100_16GB(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Drain()
+		for i := 0; i < 3; i++ {
+			res, err := e.Submit("bench", box, in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Release()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := e.Submit("bench", box, in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Release()
+		}
+	})
+
+	b.Run("cold", func(b *testing.B) {
+		pw := conv.KernelPointwise(dim, kernel)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tree, err := sample.DefaultPolicy(box, 8).Tree(dim)
+			if err != nil {
+				b.Fatal(err)
+			}
+			local, err := conv.NewLocal(dim, box, tree, pw, conv.Config{Workers: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := local.Run(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

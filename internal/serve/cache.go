@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"lowcomm3d/internal/conv"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/octree"
+	"lowcomm3d/internal/sample"
+)
+
+// planKey identifies one shared conv.PlanSet: plans depend only on the
+// grid shape, the sub-domain edge, pruning, and the effective worker
+// count — never on which box the sub-domain occupies.
+type planKey struct {
+	dim     grid.Dim3
+	k       int
+	pruned  bool
+	workers int
+}
+
+// planCache is a small LRU of immutable *conv.PlanSet. Plan construction
+// (twiddle tables, bit-reversal permutations, Bluestein chirps, pruned
+// index maps) is the expensive part of pipeline setup; a warm lookup is a
+// map hit plus a list move — no allocation.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; values are *planEntry
+	m   map[planKey]*list.Element
+}
+
+type planEntry struct {
+	key planKey
+	ps  *conv.PlanSet
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, ll: list.New(), m: make(map[planKey]*list.Element)}
+}
+
+// get returns the cached set for key, or builds one. The boolean reports
+// a cache hit. Construction happens under the lock: concurrent cold
+// lookups of the same shape would otherwise each pay the build, and the
+// steady state this cache exists for never constructs at all.
+func (c *planCache) get(key planKey) (*conv.PlanSet, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*planEntry).ps, true, nil
+	}
+	ps, err := conv.NewPlanSet(key.dim, key.k, key.workers, key.pruned)
+	if err != nil {
+		return nil, false, err
+	}
+	c.m[key] = c.ll.PushFront(&planEntry{key: key, ps: ps})
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*planEntry).key)
+		// Evicted sets stay valid for any pipeline still holding one —
+		// they are immutable; eviction only bounds future reuse.
+	}
+	return ps, false, nil
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// pipeline is everything cached for one sub-domain box: the sampling
+// octree, the shared plan set, and pools of the two per-job mutable
+// pieces — conv.Local working state and compressed output arenas — so a
+// warm job borrows both and allocates neither.
+type pipeline struct {
+	box  grid.Box
+	tree *octree.Tree
+	ps   *conv.PlanSet
+	cfg  conv.Config
+	pw   conv.Pointwise
+
+	locals sync.Pool // *conv.Local (no New: construction can fail)
+	outs   sync.Pool // *sample.Compressed
+}
+
+// local borrows a pipeline, building one only when the pool is empty.
+func (p *pipeline) local() (*conv.Local, error) {
+	if v := p.locals.Get(); v != nil {
+		return v.(*conv.Local), nil
+	}
+	return p.ps.NewLocal(p.box, p.tree, p.pw, p.cfg)
+}
+
+// out borrows an output arena; nil means RunInto allocates a fresh one.
+func (p *pipeline) out() *sample.Compressed {
+	if v := p.outs.Get(); v != nil {
+		return v.(*sample.Compressed)
+	}
+	return nil
+}
+
+// pipeCache is the LRU of ready pipelines, keyed by sub-domain box (the
+// engine fixes grid, kernel, and sampling policy, so the box determines
+// the pipeline).
+type pipeCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // values are *pipeline
+	m   map[grid.Box]*list.Element
+}
+
+func newPipeCache(capacity int) *pipeCache {
+	return &pipeCache{cap: capacity, ll: list.New(), m: make(map[grid.Box]*list.Element)}
+}
+
+// lookup returns the cached pipeline for box, or nil on a miss. It is
+// deliberately closure-free: the hit path is the serving hot path and
+// must not allocate (a combined get-or-build taking a build func would
+// heap-allocate the closure on every call, hits included).
+func (c *pipeCache) lookup(box grid.Box) *pipeline {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[box]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*pipeline)
+	}
+	return nil
+}
+
+// insert builds and caches the pipeline for box on the cold path. The map
+// is re-checked under the lock, so two workers missing the same box
+// concurrently still share one pipeline.
+func (c *pipeCache) insert(box grid.Box, build func() (*pipeline, error)) (*pipeline, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[box]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*pipeline), nil
+	}
+	p, err := build()
+	if err != nil {
+		return nil, err
+	}
+	c.m[box] = c.ll.PushFront(p)
+	for c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.m, el.Value.(*pipeline).box)
+	}
+	return p, nil
+}
+
+func (c *pipeCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

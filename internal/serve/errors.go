@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrOverloaded is the sentinel matched by errors.Is for every admission
+// rejection: callers back off and retry instead of queuing unboundedly.
+var ErrOverloaded = errors.New("serve: overloaded")
+
+// ErrClosed is returned by Submit once the engine is draining or closed.
+var ErrClosed = errors.New("serve: engine closed")
+
+// OverloadError is the typed rejection returned by Submit when admission
+// control refuses a job. It wraps ErrOverloaded (and, for memory
+// rejections, the device's error) so errors.Is works through it.
+type OverloadError struct {
+	Reason     string        // "queue full" or "device memory"
+	QueueDepth int           // admitted-but-unstarted jobs at rejection time
+	RetryAfter time.Duration // hint: mean job latency × queue backlog per worker
+	Cause      error         // non-nil for memory rejections (gpu.ErrOutOfMemory chain)
+}
+
+func (e *OverloadError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("serve: overloaded (%s, depth %d, retry after %v): %v",
+			e.Reason, e.QueueDepth, e.RetryAfter, e.Cause)
+	}
+	return fmt.Sprintf("serve: overloaded (%s, depth %d, retry after %v)",
+		e.Reason, e.QueueDepth, e.RetryAfter)
+}
+
+// Unwrap exposes both the ErrOverloaded sentinel and the underlying cause
+// to errors.Is / errors.As.
+func (e *OverloadError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrOverloaded, e.Cause}
+	}
+	return []error{ErrOverloaded}
+}

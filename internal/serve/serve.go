@@ -1,0 +1,509 @@
+// Package serve is a steady-state serving engine for the paper's local
+// convolution: a long-running process that accepts sub-domain convolution
+// jobs and runs them on a fixed pool of workers. The paper's batching
+// observation (§3.1: "multiple chunks can be batch processed by a single
+// worker") becomes, in serving form, plan/arena reuse — after the first
+// job of a given shape, every later job of that shape borrows cached FFT
+// plans, pooled pipeline state, and a recycled output arena, so a warm
+// Submit performs no heap allocation. Admission control bounds the queue
+// and charges each job's modeled device footprint against a gpu.Device
+// ledger, rejecting with a typed ErrOverloaded (plus a retry-after hint)
+// instead of queuing without bound.
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lowcomm3d/internal/conv"
+	"lowcomm3d/internal/fft"
+	"lowcomm3d/internal/gpu"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/obs"
+	"lowcomm3d/internal/sample"
+)
+
+// Options configures an Engine. The engine serves one model: a fixed grid
+// shape, kernel, and sampling policy; jobs vary in sub-domain box and
+// input data.
+type Options struct {
+	Dim     grid.Dim3    // full (cubic) grid
+	Kernel  green.Kernel // frequency-domain kernel applied to every job
+	FarRate int          // far-field sampling rate (≤0: 16)
+	Pruned  bool         // use input-pruned transforms in the pipelines
+
+	Workers         int // engine worker goroutines (≤0: GOMAXPROCS)
+	PipelineWorkers int // fft workers inside each pipeline (≤0: 1 — jobs parallelize across engine workers instead)
+	QueueDepth      int // max admitted-but-unstarted jobs (≤0: 64)
+	Plans           int // plan-set LRU capacity (≤0: 4)
+	Pipelines       int // per-box pipeline LRU capacity (≤0: 64)
+
+	// Device, when non-nil, is the admission ledger: each accepted job
+	// reserves its modeled footprint (slab + kept planes + samples) for
+	// its lifetime, and jobs that would overflow are rejected.
+	Device *gpu.Device
+
+	// Trace receives the engine's counters, gauges, and histograms
+	// (serve.*); nil creates a private trace (see Engine.Trace).
+	Trace *obs.Trace
+
+	// TracePipelines additionally attaches the trace to every conv
+	// pipeline (per-stage spans and histograms). Span recording allocates
+	// and grows the trace per job, so this trades the zero-allocation
+	// steady state for deep visibility; leave it off in production loops.
+	TracePipelines bool
+
+	// testHook (tests only) runs on the worker goroutine as each job
+	// starts; installing it via Options means it is in place before the
+	// workers spawn, with no write racing their reads.
+	testHook func(tenant string)
+}
+
+// Result is one completed job. Output is borrowed from the engine's arena
+// pool: call Release when done reading (and not after), or keep it and pay
+// a fresh allocation on some later job.
+type Result struct {
+	Output *sample.Compressed
+	Stats  conv.Stats
+	Wait   time.Duration // time spent queued before a worker picked the job up
+
+	pipe *pipeline
+}
+
+// Release returns the output arena to the engine for reuse. The samples
+// must not be read after Release.
+func (r Result) Release() {
+	if r.pipe != nil && r.Output != nil {
+		r.pipe.outs.Put(r.Output)
+	}
+}
+
+// task is one queued job. Tasks are pooled; the done channel is created
+// once per task and reused across submissions.
+type task struct {
+	next      *task // intrusive FIFO link within the tenant queue
+	tq        *tenantQueue
+	box       grid.Box
+	input     *grid.Field
+	footprint int64
+	enq       time.Time
+	res       Result
+	err       error
+	done      chan struct{}
+}
+
+// tenantQueue is one tenant's FIFO of queued tasks. Fairness is
+// round-robin across tenants: a tenant submitting faster than the engine
+// drains cannot starve the others, it can only fill its own share.
+type tenantQueue struct {
+	name       string
+	head, tail *task
+}
+
+// Engine is the serving engine. Create with New; Submit is safe for
+// concurrent use from any number of goroutines.
+type Engine struct {
+	dim      grid.Dim3
+	far      int
+	pw       conv.Pointwise
+	cfg      conv.Config // per-pipeline config (workers, pruned, optional trace)
+	dev      *gpu.Device
+	tr       *obs.Trace
+	plans    *planCache
+	pipes    *pipeCache
+	workers  int
+	maxQueue int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	tenants  map[string]*tenantQueue
+	order    []*tenantQueue // round-robin dispatch order
+	rr       int
+	queued   int
+	draining bool
+	closed   bool
+	wg       sync.WaitGroup
+
+	taskPool  sync.Pool
+	ewmaNanos atomic.Int64 // smoothed job duration, the retry-after basis
+	busy      atomic.Int64
+
+	// Metrics are resolved once so the hot path only touches atomics.
+	cSubmitted, cCompleted, cRejected *obs.Counter
+	cRejQueue, cRejMem                *obs.Counter
+	cPlanHits, cPlanMisses            *obs.Counter
+	gQueue, gBusy                     *obs.Gauge
+	hJob, hWait                       *obs.Histogram
+
+	// testHookStart, when set (tests only), runs on the worker goroutine
+	// as each job starts, before any pipeline work.
+	testHookStart func(tenant string)
+}
+
+// New builds and starts an engine; callers must Drain (or Close) it.
+func New(opts Options) (*Engine, error) {
+	d := opts.Dim
+	if d.Len() == 0 || d.Nx != d.Ny || d.Ny != d.Nz {
+		return nil, fmt.Errorf("serve: grid %v must be cubic and non-empty", d)
+	}
+	if opts.Kernel == nil {
+		return nil, fmt.Errorf("serve: nil kernel")
+	}
+	e := &Engine{
+		dim:      d,
+		far:      opts.FarRate,
+		dev:      opts.Device,
+		tr:       opts.Trace,
+		workers:  opts.Workers,
+		maxQueue: opts.QueueDepth,
+		tenants:  make(map[string]*tenantQueue),
+	}
+	if e.far <= 0 {
+		e.far = 16
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	if e.maxQueue <= 0 {
+		e.maxQueue = 64
+	}
+	if e.tr == nil {
+		e.tr = obs.New()
+	}
+	plans := opts.Plans
+	if plans <= 0 {
+		plans = 4
+	}
+	pipes := opts.Pipelines
+	if pipes <= 0 {
+		pipes = 64
+	}
+	e.plans = newPlanCache(plans)
+	e.pipes = newPipeCache(pipes)
+	pw := opts.PipelineWorkers
+	if pw <= 0 {
+		pw = 1
+	}
+	e.cfg = conv.Config{Workers: pw, Pruned: opts.Pruned}
+	if opts.TracePipelines {
+		e.cfg.Trace = e.tr
+	}
+	e.pw = conv.KernelPointwise(d, opts.Kernel)
+	e.cond = sync.NewCond(&e.mu)
+	e.taskPool.New = func() any { return &task{done: make(chan struct{}, 1)} }
+
+	e.cSubmitted = e.tr.Counter("serve.jobs_submitted")
+	e.cCompleted = e.tr.Counter("serve.jobs_completed")
+	e.cRejected = e.tr.Counter("serve.jobs_rejected")
+	e.cRejQueue = e.tr.Counter("serve.rejects_queue_full")
+	e.cRejMem = e.tr.Counter("serve.rejects_memory")
+	e.cPlanHits = e.tr.Counter("serve.plan_cache_hits")
+	e.cPlanMisses = e.tr.Counter("serve.plan_cache_misses")
+	e.gQueue = e.tr.Gauge("serve.queue_depth")
+	e.gBusy = e.tr.Gauge("serve.busy_workers")
+	e.hJob = e.tr.Histogram("serve.job_seconds")
+	e.hWait = e.tr.Histogram("serve.queue_wait_seconds")
+
+	e.testHookStart = opts.testHook
+	for i := 0; i < e.workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Trace returns the engine's metrics trace, for mounting on a telemetry
+// server or snapshotting in tests.
+func (e *Engine) Trace() *obs.Trace { return e.tr }
+
+// QueueDepth returns the number of admitted jobs not yet picked up.
+func (e *Engine) QueueDepth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queued
+}
+
+// jobFootprint models the device bytes one k³ job holds at peak: the
+// N×N×k complex slab, the kept inverse z planes, and the Eq. 6 compressed
+// samples — the same shape internal/massif charges when admitting workers.
+func (e *Engine) jobFootprint(k int) int64 {
+	n := e.dim.Nx
+	kept := gpu.KeptZPlanes(n, k, e.far)
+	n64, k64, far := int64(n), int64(k), int64(e.far)
+	samples := k64*k64*k64 + (n64*n64*n64-k64*k64*k64)/(far*far*far)
+	return 16*n64*n64*k64 + 16*n64*n64*int64(kept) + 8*samples
+}
+
+// Submit runs one job — the input field over sub-domain box for the named
+// tenant — and blocks until it completes or is rejected. Rejections are
+// immediate and typed: errors.Is(err, ErrOverloaded) with an
+// *OverloadError carrying a retry-after hint, or ErrClosed after Drain.
+// A warm Submit (shape already served) performs no heap allocation.
+func (e *Engine) Submit(tenant string, box grid.Box, input *grid.Field) (Result, error) {
+	s := box.Size()
+	if s[0] < 1 || s[0] != s[1] || s[1] != s[2] {
+		return Result{}, fmt.Errorf("serve: box %v must be a cube", box)
+	}
+	if !e.dim.Bounds().ContainsBox(box) {
+		return Result{}, fmt.Errorf("serve: box %v outside grid %v", box, e.dim)
+	}
+	if (grid.Dim3{Nx: s[0], Ny: s[1], Nz: s[2]}) != input.Dim {
+		return Result{}, fmt.Errorf("serve: input dims %v do not match box %v", input.Dim, box)
+	}
+	fp := e.jobFootprint(s[0])
+
+	e.mu.Lock()
+	if e.draining || e.closed {
+		e.mu.Unlock()
+		return Result{}, ErrClosed
+	}
+	if e.queued >= e.maxQueue {
+		depth := e.queued
+		e.mu.Unlock()
+		e.cRejected.Add(1)
+		e.cRejQueue.Add(1)
+		return Result{}, &OverloadError{
+			Reason: "queue full", QueueDepth: depth, RetryAfter: e.retryAfter(depth),
+		}
+	}
+	e.queued++ // hold the queue slot across the device reservation
+	depth := e.queued
+	e.mu.Unlock()
+
+	if e.dev != nil {
+		if err := e.dev.Reserve(fp); err != nil {
+			e.mu.Lock()
+			e.queued--
+			e.mu.Unlock()
+			e.cRejected.Add(1)
+			e.cRejMem.Add(1)
+			return Result{}, &OverloadError{
+				Reason: "device memory", QueueDepth: depth - 1,
+				RetryAfter: e.retryAfter(depth - 1), Cause: err,
+			}
+		}
+	}
+	e.gQueue.Max(int64(depth))
+
+	t := e.taskPool.Get().(*task)
+	t.box, t.input, t.footprint, t.enq = box, input, fp, time.Now()
+
+	e.mu.Lock()
+	if e.draining || e.closed {
+		// Raced with Drain after admission: refuse rather than strand a
+		// job no worker will ever dequeue.
+		e.queued--
+		e.mu.Unlock()
+		if e.dev != nil {
+			e.dev.Release(fp)
+		}
+		e.recycle(t)
+		return Result{}, ErrClosed
+	}
+	tq := e.tenants[tenant]
+	if tq == nil {
+		tq = &tenantQueue{name: tenant}
+		e.tenants[tenant] = tq
+		e.order = append(e.order, tq)
+	}
+	t.tq = tq
+	if tq.tail != nil {
+		tq.tail.next = t
+	} else {
+		tq.head = t
+	}
+	tq.tail = t
+	e.cond.Signal()
+	e.mu.Unlock()
+	e.cSubmitted.Add(1)
+
+	<-t.done
+	res, err := t.res, t.err
+	e.recycle(t)
+	return res, err
+}
+
+// recycle clears a task's per-job state and returns it to the pool; the
+// done channel is kept.
+func (e *Engine) recycle(t *task) {
+	t.next, t.tq, t.input = nil, nil, nil
+	t.res, t.err = Result{}, nil
+	e.taskPool.Put(t)
+}
+
+// retryAfter estimates how long an overloaded caller should wait: the
+// smoothed job duration times the backlog per worker (plus one job).
+func (e *Engine) retryAfter(depth int) time.Duration {
+	mean := time.Duration(e.ewmaNanos.Load())
+	if mean <= 0 {
+		mean = time.Millisecond
+	}
+	return mean * time.Duration(depth/e.workers+1)
+}
+
+func (e *Engine) observeDuration(d time.Duration) {
+	e.hJob.Observe(d)
+	for {
+		old := e.ewmaNanos.Load()
+		nw := int64(d)
+		if old != 0 {
+			nw = old + (int64(d)-old)/8
+		}
+		if e.ewmaNanos.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// worker is one dispatch goroutine: dequeue round-robin, run, repeat
+// until the engine drains.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		t := e.dequeue()
+		if t == nil {
+			return
+		}
+		e.runJob(t)
+	}
+}
+
+// dequeue blocks for the next task, serving tenants round-robin. It
+// returns nil once the engine is draining and the queue is empty.
+func (e *Engine) dequeue() *task {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if e.closed {
+			return nil
+		}
+		if n := len(e.order); n > 0 {
+			for i := 0; i < n; i++ {
+				tq := e.order[(e.rr+i)%n]
+				if tq.head == nil {
+					continue
+				}
+				e.rr = (e.rr + i + 1) % n
+				t := tq.head
+				tq.head = t.next
+				if tq.head == nil {
+					tq.tail = nil
+				}
+				t.next = nil
+				e.queued--
+				return t
+			}
+		}
+		if e.draining {
+			return nil
+		}
+		e.cond.Wait()
+	}
+}
+
+// runJob executes one dequeued task and signals its submitter.
+func (e *Engine) runJob(t *task) {
+	e.hWait.Observe(time.Since(t.enq))
+	e.gBusy.Max(e.busy.Add(1))
+	if h := e.testHookStart; h != nil {
+		h(t.tq.name)
+	}
+	start := time.Now()
+	e.execute(t)
+	e.observeDuration(time.Since(start))
+	e.busy.Add(-1)
+	if e.dev != nil {
+		e.dev.Release(t.footprint)
+	}
+	if t.err == nil {
+		e.cCompleted.Add(1)
+	}
+	t.done <- struct{}{} // t belongs to the submitter from here on
+}
+
+// execute resolves the job's pipeline (cached plans, pooled state, pooled
+// output arena) and runs the convolution, filling t.res / t.err.
+func (e *Engine) execute(t *task) {
+	wait := time.Since(t.enq)
+	p := e.pipes.lookup(t.box)
+	if p != nil {
+		e.cPlanHits.Add(1)
+	} else {
+		var planHit bool
+		var err error
+		p, err = e.pipes.insert(t.box, func() (*pipeline, error) {
+			return e.buildPipeline(t.box, &planHit)
+		})
+		if err != nil {
+			t.err = err
+			return
+		}
+		if planHit {
+			e.cPlanHits.Add(1)
+		} else {
+			e.cPlanMisses.Add(1)
+		}
+	}
+	l, err := p.local()
+	if err != nil {
+		t.err = err
+		return
+	}
+	out := p.out()
+	res, st, err := l.RunInto(t.input, out)
+	p.locals.Put(l)
+	if err != nil {
+		if out != nil {
+			p.outs.Put(out) // failed run: don't leak the borrowed arena
+		}
+		t.err = err
+		return
+	}
+	t.res = Result{Output: res, Stats: st, Wait: wait, pipe: p}
+}
+
+// buildPipeline assembles a pipeline for box on a cache miss: shared
+// plans from the plan LRU, a fresh sampling octree, the engine's kernel.
+func (e *Engine) buildPipeline(box grid.Box, planHit *bool) (*pipeline, error) {
+	k := box.Hi[0] - box.Lo[0]
+	ps, hit, err := e.plans.get(planKey{
+		dim: e.dim, k: k, pruned: e.cfg.Pruned, workers: fft.Workers(e.cfg.Workers),
+	})
+	if err != nil {
+		return nil, err
+	}
+	*planHit = hit
+	tree, err := sample.DefaultPolicy(box, e.far).Tree(e.dim)
+	if err != nil {
+		return nil, err
+	}
+	return &pipeline{box: box, tree: tree, ps: ps, cfg: e.cfg, pw: e.pw}, nil
+}
+
+// Drain stops admission, lets every accepted job finish, and shuts the
+// workers down. Safe to call more than once; Submit after Drain returns
+// ErrClosed.
+func (e *Engine) Drain() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.draining = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+}
+
+// Close drains the engine (io.Closer-shaped).
+func (e *Engine) Close() error {
+	e.Drain()
+	return nil
+}

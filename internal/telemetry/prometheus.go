@@ -36,6 +36,17 @@ var helpText = map[string]string{
 	"conv.stage_a_seconds":           "conv.Local.Run stage A (forward 2D transforms of the k sub-domain slices into the N*N*k slab).",
 	"conv.stage_b_seconds":           "conv.Local.Run stage B (batched 1D z transforms + pointwise kernel, the cuFFT-callback stage of Table 3's pipeline).",
 	"conv.stage_c_seconds":           "conv.Local.Run stage C (inverse 2D transforms of kept planes + octree sample gather).",
+	"serve.jobs_submitted":           "Jobs accepted into the serving queue (admission passed).",
+	"serve.jobs_completed":           "Jobs that ran to completion and returned a result.",
+	"serve.jobs_rejected":            "Jobs refused at admission (queue full or device memory exhausted).",
+	"serve.rejects_queue_full":       "Admission rejects due to the bounded job queue being at capacity.",
+	"serve.rejects_memory":           "Admission rejects due to the device ledger refusing the job's modeled footprint (Table 1/4's 8*N^2*k-shaped bound).",
+	"serve.plan_cache_hits":          "Submits that reused a cached shared FFT plan set (the section 3.1 plan-once-batch-many claim measured).",
+	"serve.plan_cache_misses":        "Submits that had to build a new shared FFT plan set.",
+	"serve.queue_depth":              "High-water number of jobs waiting or running in the serving engine.",
+	"serve.busy_workers":             "High-water number of serving workers executing jobs simultaneously.",
+	"serve.job_seconds":              "End-to-end latency of one served convolution job (pipeline run, queue wait excluded).",
+	"serve.queue_wait_seconds":       "Time a job spent queued between admission and a worker picking it up.",
 	"fft.flops_model":                "Modeled FLOPs of full 3D pencil sweeps (5*N*log2 N per line).",
 	"fft.sweep_x_seconds":            "Wall time of one x-axis 1D-transform sweep of Plan3D (N^2 lines).",
 	"fft.sweep_y_seconds":            "Wall time of one y-axis 1D-transform sweep of Plan3D.",

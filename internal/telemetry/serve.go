@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -21,8 +22,27 @@ type Server struct {
 // Addr returns the bound address (useful with ":0" for tests).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server and releases the listener.
-func (s *Server) Close() error { return s.srv.Close() }
+// shutdownTimeout bounds how long Close waits for in-flight scrapes.
+const shutdownTimeout = 2 * time.Second
+
+// Close stops the server and releases the listener, letting in-flight
+// requests finish. http.Server.Close would sever a scrape mid-body and
+// the collector would record a truncated, unparseable exposition right at
+// shutdown — the scrape most likely to matter in a postmortem. If the
+// graceful drain exceeds shutdownTimeout, remaining connections are cut.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// metricsMidwrite, when non-nil (tests only), runs inside the /metrics
+// handler between the trace and runtime sections, letting a test hold a
+// scrape in flight while Close is called.
+var metricsMidwrite func()
 
 // Serve binds addr (":8080", "127.0.0.1:0", …) and serves the live
 // telemetry endpoints in a background goroutine:
@@ -47,6 +67,9 @@ func Serve(addr string, tr *obs.Trace, rec *Recorder) (*Server, error) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := WriteTraceMetrics(w, tr); err != nil {
 			return
+		}
+		if metricsMidwrite != nil {
+			metricsMidwrite()
 		}
 		WriteRuntimeMetrics(w)
 	})

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lowcomm3d/internal/obs"
+)
+
+// TestCloseDrainsInFlightScrape is the regression test for the abrupt-
+// shutdown bug: Close used http.Server.Close, which severs in-flight
+// connections, so a /metrics scrape racing shutdown got a truncated,
+// unparseable body. Close now drains gracefully: a scrape held mid-write
+// while Close runs must still complete with the full exposition
+// (runtime metrics included) and pass the exposition lint.
+func TestCloseDrainsInFlightScrape(t *testing.T) {
+	tr := obs.New()
+	tr.Counter("serve.jobs_completed").Add(7)
+
+	inHandler := make(chan struct{})
+	releaseHandler := make(chan struct{})
+	metricsMidwrite = func() {
+		inHandler <- struct{}{}
+		<-releaseHandler
+	}
+	defer func() { metricsMidwrite = nil }()
+
+	srv, err := Serve("127.0.0.1:0", tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var body string
+	var status int
+	var scrape sync.WaitGroup
+	scrape.Add(1)
+	go func() {
+		defer scrape.Done()
+		status, _, body = get(t, "http://"+srv.Addr()+"/metrics")
+	}()
+	<-inHandler // scrape is mid-body: trace section written, runtime pending
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	// Give Shutdown time to start draining (the old Close would have
+	// already severed the connection by now).
+	time.Sleep(100 * time.Millisecond)
+	close(releaseHandler)
+
+	scrape.Wait()
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("scrape racing Close: status %d", status)
+	}
+	for _, want := range []string{
+		"lowcomm_serve_jobs_completed_total 7",
+		"go_goroutines", // written after Close began — proves the drain
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("scrape racing Close missing %q:\n%s", want, body)
+		}
+	}
+	lintExposition(t, body)
+
+	if _, err := http.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still accepting after graceful Close")
+	}
+}
