@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"log"
 	"os"
 	"path/filepath"
@@ -20,6 +21,7 @@ import (
 	"lowcomm3d/internal/grid"
 	"lowcomm3d/internal/octree"
 	"lowcomm3d/internal/sample"
+	"lowcomm3d/internal/wire"
 )
 
 // entry renders one fuzz-corpus value line (go test fuzz v1 format).
@@ -48,6 +50,14 @@ func writeSeed(dir, name string, values ...any) {
 	if err := os.WriteFile(filepath.Join(dir, name), buf.Bytes(), 0o644); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// fixHeaderCRC restamps a wire frame's header CRC after a field edit (the
+// forged-length seed must pass header validation to reach the payload
+// read path).
+func fixHeaderCRC(frame []byte) {
+	crc := crc32.Checksum(frame[:16], crc32.MakeTable(crc32.Castagnoli))
+	binary.LittleEndian.PutUint32(frame[16:], crc)
 }
 
 func metaBytes(meta []int32) []byte {
@@ -146,6 +156,65 @@ func main() {
 	badCRC := bytes.Clone(ck.Bytes())
 	binary.LittleEndian.PutUint64(badCRC[32:], 0xdeadbeefdeadbeef)
 	writeSeed(ckptDir, "seed-bad-crc", badCRC)
+
+	// FuzzWireFrameCodec(data []byte). Payloads are built by hand against
+	// the documented little-endian message layouts (the encoders are
+	// internal to the wire package); a drifting layout makes these seeds
+	// less interesting, not wrong, since the fuzzer only needs plausible
+	// structure to start from.
+	wireDir := filepath.Join("internal", "wire", "testdata", "fuzz", "FuzzWireFrameCodec")
+	le := binary.LittleEndian
+	str := func(s string) []byte {
+		b := make([]byte, 4, 4+len(s))
+		le.PutUint32(b, uint32(len(s)))
+		return append(b, s...)
+	}
+	var hello []byte
+	hello = le.AppendUint32(hello, 1) // protocol version
+	hello = append(hello, str("0123456789abcdef0123456789abcdef")...)
+	writeSeed(wireDir, "seed-hello", wire.EncodeFrame(wire.FrameHello, hello))
+
+	var submit []byte
+	submit = le.AppendUint64(submit, 7)    // job id
+	submit = le.AppendUint32(submit, 1500) // deadline ms
+	submit = append(submit, str("tenant")...)
+	for _, c := range []int64{1, 2, 3} { // box low corner
+		submit = le.AppendUint64(submit, uint64(c))
+	}
+	submit = le.AppendUint32(submit, 1) // k
+	submit = le.AppendUint32(submit, 1) // sample count (k^3)
+	submit = le.AppendUint64(submit, 0x3ff0000000000000)
+	writeSeed(wireDir, "seed-submit", wire.EncodeFrame(wire.FrameSubmit, submit))
+
+	var chunk []byte
+	chunk = le.AppendUint64(chunk, 7)          // job id
+	chunk = le.AppendUint64(chunk, 0)          // offset
+	chunk = le.AppendUint64(chunk, 11)         // total
+	chunk = le.AppendUint32(chunk, 0xdeadbeef) // payload CRC (wrong on purpose)
+	chunk = append(chunk, "hello world"...)
+	writeSeed(wireDir, "seed-chunk", wire.EncodeFrame(wire.FrameChunk, chunk))
+
+	var status []byte
+	status = le.AppendUint64(status, 7) // job id
+	status = append(status, 2, 0)       // code (overloaded-queue)
+	status = le.AppendUint32(status, 250)
+	status = append(status, str("queue full")...)
+	writeSeed(wireDir, "seed-status", wire.EncodeFrame(wire.FrameStatus, status))
+
+	writeSeed(wireDir, "seed-ping", wire.EncodeFrame(wire.FramePing, nil))
+	two := wire.EncodeFrame(wire.FramePong, nil)
+	two = append(two, wire.EncodeFrame(wire.FramePing, nil)...)
+	writeSeed(wireDir, "seed-back-to-back", two)
+
+	ack := wire.EncodeFrame(wire.FrameAck, le.AppendUint64(le.AppendUint64(nil, 7), 4096))
+	writeSeed(wireDir, "seed-truncated", ack[:len(ack)-3])
+	hugeLen := wire.EncodeFrame(wire.FramePing, nil)
+	le.PutUint32(hugeLen[8:], wire.MaxFramePayload) // in-bounds length, no bytes behind it
+	fixHeaderCRC(hugeLen)
+	writeSeed(wireDir, "seed-forged-length", hugeLen)
+	badPayload := wire.EncodeFrame(wire.FrameAck, le.AppendUint64(le.AppendUint64(nil, 7), 4096))
+	badPayload[wire.HeaderSize] ^= 1
+	writeSeed(wireDir, "seed-corrupt-payload", badPayload)
 
 	fmt.Println("seed corpora written under internal/*/testdata/fuzz/")
 }

@@ -13,6 +13,7 @@
 //	paperbench -faults       fault-injection study: lossy-fabric convolution + crashed MASSIF solve
 //	paperbench -chaos        self-healing study: crash/straggler/OOM schedules against the healing solve
 //	paperbench -serve-load   §3.1 serving: seeded open-loop load against the steady-state engine
+//	paperbench -wire-load    wire front door over loopback TCP under seeded connection faults
 //	paperbench -all          everything above
 package main
 
@@ -55,6 +56,7 @@ func main() {
 		fleet   = flag.Bool("fleet", false, "DGX-2 batch-throughput model (§5.1 batching claim)")
 		sweep   = flag.Bool("sweep", false, "measured accuracy/compression tradeoff across far rates (§5.4)")
 		sLoad   = flag.Bool("serve-load", false, "seeded open-loop load against the steady-state serving engine (§3.1)")
+		wLoad   = flag.Bool("wire-load", false, "wire-protocol front door over loopback TCP under seeded connection faults")
 		all     = flag.Bool("all", false, "run everything")
 		traceTo = flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto JSON) of the run to this file")
 		serve   = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /flight, /debug/pprof) on this address, e.g. :8080, and block after the run")
@@ -68,7 +70,7 @@ func main() {
 	// The chaos study always records a per-rank flight recorder and dumps
 	// its postmortem next to the trace artifact; serve mode exposes the
 	// recorder live at /flight.
-	if *chaos || *all || *serve != "" {
+	if *chaos || *wLoad || *all || *serve != "" {
 		flight = telemetry.NewRecorder(8, 0)
 	}
 	postmortemPath = "paperbench-chaos.postmortem.txt"
@@ -118,6 +120,7 @@ func main() {
 	run(*fleet, fleetStudy)
 	run(*sweep, rateSweep)
 	run(*sLoad, serveLoadStudy)
+	run(*wLoad, wireLoadStudy)
 	if !ran && *serve == "" {
 		flag.Usage()
 		os.Exit(2)

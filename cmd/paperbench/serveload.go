@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -62,7 +63,7 @@ func serveLoadStudy() error {
 	// set and pipelines exist before anything is measured.
 	warm := func(eng *serve.Engine) error {
 		for i := 0; i < 2*len(boxes); i++ {
-			res, err := eng.Submit(tenants[i%len(tenants)], boxes[i%len(boxes)], inputs[i%len(boxes)])
+			res, err := eng.Submit(context.Background(), tenants[i%len(tenants)], boxes[i%len(boxes)], inputs[i%len(boxes)])
 			if err != nil {
 				return err
 			}
@@ -89,7 +90,7 @@ func serveLoadStudy() error {
 	calC0, calS0 := calHist.Count(), calHist.Sum() // exclude warm-up (cold plan builds)
 	const calJobs = 16
 	for i := 0; i < calJobs; i++ {
-		res, err := cal.Submit(tenants[i%len(tenants)], boxes[i%len(boxes)], inputs[i%len(boxes)])
+		res, err := cal.Submit(context.Background(), tenants[i%len(tenants)], boxes[i%len(boxes)], inputs[i%len(boxes)])
 		if err != nil {
 			return err
 		}
@@ -154,7 +155,7 @@ func serveLoadStudy() error {
 			go func() {
 				defer wg.Done()
 				t0 := time.Now()
-				res, err := eng.Submit(tenants[i%len(tenants)], boxes[i%len(boxes)], inputs[i%len(boxes)])
+				res, err := eng.Submit(context.Background(), tenants[i%len(tenants)], boxes[i%len(boxes)], inputs[i%len(boxes)])
 				if err != nil {
 					var ov *serve.OverloadError
 					mu.Lock()

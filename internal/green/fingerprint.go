@@ -1,0 +1,52 @@
+package green
+
+import (
+	"math"
+
+	"lowcomm3d/internal/grid"
+)
+
+// Fingerprint digests a kernel's frequency response on a grid into a
+// stable 64-bit value: FNV-1a over the float bits of Hat sampled on a
+// deterministic lattice of frequencies. Two kernels whose tables agree on
+// the sampled lattice collide by construction — the lattice is the full
+// frequency grid up to fingerprintBudget evaluations, striding only
+// beyond it — so for every grid the serving engine actually plans, the
+// fingerprint covers every coefficient a pipeline would apply.
+//
+// The serving engine keys cached pipelines on this value: updating a
+// tenant's kernel changes the fingerprint, which invalidates every cached
+// pipeline that baked in the old pointwise table (see serve.pipeKey).
+func Fingerprint(d grid.Dim3, k Kernel) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= (b >> s) & 0xff
+			h *= prime
+		}
+	}
+	stride := 1
+	for d.Len()/(stride*stride*stride) > fingerprintBudget {
+		stride *= 2
+	}
+	mix(uint64(d.Nx))
+	mix(uint64(d.Ny))
+	mix(uint64(d.Nz))
+	mix(uint64(stride))
+	for kz := 0; kz < d.Nz; kz += stride {
+		for ky := 0; ky < d.Ny; ky += stride {
+			for kx := 0; kx < d.Nx; kx += stride {
+				mix(math.Float64bits(k.Hat(d, kx, ky, kz)))
+			}
+		}
+	}
+	return h
+}
+
+// fingerprintBudget caps Fingerprint at ~2²¹ Hat evaluations (a 128³ grid
+// exactly); larger grids stride their lattice by powers of two.
+const fingerprintBudget = 1 << 21

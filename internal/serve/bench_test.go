@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"testing"
 
 	"lowcomm3d/internal/conv"
@@ -32,7 +33,7 @@ func BenchmarkServeSteadyState(b *testing.B) {
 		}
 		defer e.Drain()
 		for i := 0; i < 3; i++ {
-			res, err := e.Submit("bench", box, in)
+			res, err := e.Submit(context.Background(), "bench", box, in)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -41,7 +42,7 @@ func BenchmarkServeSteadyState(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			res, err := e.Submit("bench", box, in)
+			res, err := e.Submit(context.Background(), "bench", box, in)
 			if err != nil {
 				b.Fatal(err)
 			}

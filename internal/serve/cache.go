@@ -72,11 +72,12 @@ func (c *planCache) len() int {
 	return c.ll.Len()
 }
 
-// pipeline is everything cached for one sub-domain box: the sampling
-// octree, the shared plan set, and pools of the two per-job mutable
-// pieces — conv.Local working state and compressed output arenas — so a
-// warm job borrows both and allocates neither.
+// pipeline is everything cached for one (sub-domain box, kernel
+// generation): the sampling octree, the shared plan set, and pools of the
+// two per-job mutable pieces — conv.Local working state and compressed
+// output arenas — so a warm job borrows both and allocates neither.
 type pipeline struct {
+	key  pipeKey
 	box  grid.Box
 	tree *octree.Tree
 	ps   *conv.PlanSet
@@ -103,41 +104,51 @@ func (p *pipeline) out() *sample.Compressed {
 	return nil
 }
 
-// pipeCache is the LRU of ready pipelines, keyed by sub-domain box (the
-// engine fixes grid, kernel, and sampling policy, so the box determines
-// the pipeline).
+// pipeKey identifies one cached pipeline: the sub-domain box plus the
+// fingerprint of the kernel generation it bakes in. Keying on the
+// fingerprint is the plan-cache invalidation mechanism — after
+// Engine.UpdateKernel, lookups carry the new fingerprint, miss every
+// stale pipeline, and the old generation ages out of the LRU.
+type pipeKey struct {
+	box    grid.Box
+	kernel uint64
+}
+
+// pipeCache is the LRU of ready pipelines, keyed by (box, kernel
+// fingerprint) — the engine fixes grid and sampling policy, so those two
+// determine the pipeline.
 type pipeCache struct {
 	mu  sync.Mutex
 	cap int
 	ll  *list.List // values are *pipeline
-	m   map[grid.Box]*list.Element
+	m   map[pipeKey]*list.Element
 }
 
 func newPipeCache(capacity int) *pipeCache {
-	return &pipeCache{cap: capacity, ll: list.New(), m: make(map[grid.Box]*list.Element)}
+	return &pipeCache{cap: capacity, ll: list.New(), m: make(map[pipeKey]*list.Element)}
 }
 
-// lookup returns the cached pipeline for box, or nil on a miss. It is
+// lookup returns the cached pipeline for key, or nil on a miss. It is
 // deliberately closure-free: the hit path is the serving hot path and
 // must not allocate (a combined get-or-build taking a build func would
 // heap-allocate the closure on every call, hits included).
-func (c *pipeCache) lookup(box grid.Box) *pipeline {
+func (c *pipeCache) lookup(key pipeKey) *pipeline {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.m[box]; ok {
+	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
 		return el.Value.(*pipeline)
 	}
 	return nil
 }
 
-// insert builds and caches the pipeline for box on the cold path. The map
-// is re-checked under the lock, so two workers missing the same box
+// insert builds and caches the pipeline for key on the cold path. The map
+// is re-checked under the lock, so two workers missing the same key
 // concurrently still share one pipeline.
-func (c *pipeCache) insert(box grid.Box, build func() (*pipeline, error)) (*pipeline, error) {
+func (c *pipeCache) insert(key pipeKey, build func() (*pipeline, error)) (*pipeline, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.m[box]; ok {
+	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
 		return el.Value.(*pipeline), nil
 	}
@@ -145,11 +156,11 @@ func (c *pipeCache) insert(box grid.Box, build func() (*pipeline, error)) (*pipe
 	if err != nil {
 		return nil, err
 	}
-	c.m[box] = c.ll.PushFront(p)
+	c.m[key] = c.ll.PushFront(p)
 	for c.ll.Len() > c.cap {
 		el := c.ll.Back()
 		c.ll.Remove(el)
-		delete(c.m, el.Value.(*pipeline).box)
+		delete(c.m, el.Value.(*pipeline).key)
 	}
 	return p, nil
 }

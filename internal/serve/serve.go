@@ -12,6 +12,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -87,6 +88,7 @@ func (r Result) Release() {
 type task struct {
 	next      *task // intrusive FIFO link within the tenant queue
 	tq        *tenantQueue
+	ctx       context.Context
 	box       grid.Box
 	input     *grid.Field
 	footprint int64
@@ -109,8 +111,8 @@ type tenantQueue struct {
 type Engine struct {
 	dim      grid.Dim3
 	far      int
-	pw       conv.Pointwise
-	cfg      conv.Config // per-pipeline config (workers, pruned, optional trace)
+	kern     atomic.Pointer[kernelState] // current kernel pointwise + fingerprint
+	cfg      conv.Config                 // per-pipeline config (workers, pruned, optional trace)
 	dev      *gpu.Device
 	tr       *obs.Trace
 	plans    *planCache
@@ -135,6 +137,7 @@ type Engine struct {
 	// Metrics are resolved once so the hot path only touches atomics.
 	cSubmitted, cCompleted, cRejected *obs.Counter
 	cRejQueue, cRejMem                *obs.Counter
+	cCancelled, cKernelUpdates        *obs.Counter
 	cPlanHits, cPlanMisses            *obs.Counter
 	gQueue, gBusy                     *obs.Gauge
 	hJob, hWait                       *obs.Histogram
@@ -192,7 +195,10 @@ func New(opts Options) (*Engine, error) {
 	if opts.TracePipelines {
 		e.cfg.Trace = e.tr
 	}
-	e.pw = conv.KernelPointwise(d, opts.Kernel)
+	e.kern.Store(&kernelState{
+		pw: conv.KernelPointwise(d, opts.Kernel),
+		fp: green.Fingerprint(d, opts.Kernel),
+	})
 	e.cond = sync.NewCond(&e.mu)
 	e.taskPool.New = func() any { return &task{done: make(chan struct{}, 1)} }
 
@@ -201,6 +207,8 @@ func New(opts Options) (*Engine, error) {
 	e.cRejected = e.tr.Counter("serve.jobs_rejected")
 	e.cRejQueue = e.tr.Counter("serve.rejects_queue_full")
 	e.cRejMem = e.tr.Counter("serve.rejects_memory")
+	e.cCancelled = e.tr.Counter("serve.jobs_cancelled")
+	e.cKernelUpdates = e.tr.Counter("serve.kernel_updates")
 	e.cPlanHits = e.tr.Counter("serve.plan_cache_hits")
 	e.cPlanMisses = e.tr.Counter("serve.plan_cache_misses")
 	e.gQueue = e.tr.Gauge("serve.queue_depth")
@@ -239,11 +247,19 @@ func (e *Engine) jobFootprint(k int) int64 {
 }
 
 // Submit runs one job — the input field over sub-domain box for the named
-// tenant — and blocks until it completes or is rejected. Rejections are
-// immediate and typed: errors.Is(err, ErrOverloaded) with an
-// *OverloadError carrying a retry-after hint, or ErrClosed after Drain.
-// A warm Submit (shape already served) performs no heap allocation.
-func (e *Engine) Submit(tenant string, box grid.Box, input *grid.Field) (Result, error) {
+// tenant — and blocks until it completes, is rejected, or ctx ends.
+// Rejections are immediate and typed: errors.Is(err, ErrOverloaded) with
+// an *OverloadError carrying a retry-after hint, or ErrClosed after
+// Drain. A ctx that ends while the job is still queued removes it from
+// the queue without running it, releases its ledger reservation (freeing
+// the slot for other tenants), and returns ctx.Err(); a ctx that ends
+// mid-run waits for the run to finish, recycles the output, and still
+// returns ctx.Err(). A warm Submit (shape already served, background
+// ctx) performs no heap allocation.
+func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input *grid.Field) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	s := box.Size()
 	if s[0] < 1 || s[0] != s[1] || s[1] != s[2] {
 		return Result{}, fmt.Errorf("serve: box %v must be a cube", box)
@@ -291,6 +307,7 @@ func (e *Engine) Submit(tenant string, box grid.Box, input *grid.Field) (Result,
 
 	t := e.taskPool.Get().(*task)
 	t.box, t.input, t.footprint, t.enq = box, input, fp, time.Now()
+	t.ctx = ctx
 
 	e.mu.Lock()
 	if e.draining || e.closed {
@@ -321,16 +338,69 @@ func (e *Engine) Submit(tenant string, box grid.Box, input *grid.Field) (Result,
 	e.mu.Unlock()
 	e.cSubmitted.Add(1)
 
-	<-t.done
+	if done := ctx.Done(); done != nil {
+		select {
+		case <-t.done:
+		case <-done:
+			if e.removeQueued(t) {
+				// Still queued: never ran. Give back the slot, the ledger
+				// reservation, and the task, and wake any blocked tenant.
+				if e.dev != nil {
+					e.dev.Release(fp)
+				}
+				e.cCancelled.Add(1)
+				e.recycle(t)
+				return Result{}, ctx.Err()
+			}
+			// A worker already owns the task; it signals done when the run
+			// (or the worker's own expiry check) finishes.
+			<-t.done
+			t.res.Release() // caller is gone; recycle the arena, keep the error typed
+			e.recycle(t)
+			return Result{}, ctx.Err()
+		}
+	} else {
+		<-t.done
+	}
 	res, err := t.res, t.err
 	e.recycle(t)
 	return res, err
 }
 
+// removeQueued unlinks t from its tenant queue if no worker has dequeued
+// it yet, reclaiming the queue slot. It reports whether the caller now
+// owns the task.
+func (e *Engine) removeQueued(t *task) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tq := t.tq
+	if tq == nil {
+		return false
+	}
+	var prev *task
+	for cur := tq.head; cur != nil; prev, cur = cur, cur.next {
+		if cur != t {
+			continue
+		}
+		if prev == nil {
+			tq.head = cur.next
+		} else {
+			prev.next = cur.next
+		}
+		if tq.tail == cur {
+			tq.tail = prev
+		}
+		cur.next = nil
+		e.queued--
+		return true
+	}
+	return false
+}
+
 // recycle clears a task's per-job state and returns it to the pool; the
 // done channel is kept.
 func (e *Engine) recycle(t *task) {
-	t.next, t.tq, t.input = nil, nil, nil
+	t.next, t.tq, t.input, t.ctx = nil, nil, nil, nil
 	t.res, t.err = Result{}, nil
 	e.taskPool.Put(t)
 }
@@ -405,8 +475,20 @@ func (e *Engine) dequeue() *task {
 	}
 }
 
-// runJob executes one dequeued task and signals its submitter.
+// runJob executes one dequeued task and signals its submitter. A task
+// whose context expired while it sat in the queue is skipped without
+// running — the dequeue raced the submitter's own removal, and running a
+// job nobody waits for wastes a worker.
 func (e *Engine) runJob(t *task) {
+	if err := t.ctx.Err(); err != nil {
+		t.err = err
+		e.cCancelled.Add(1)
+		if e.dev != nil {
+			e.dev.Release(t.footprint)
+		}
+		t.done <- struct{}{}
+		return
+	}
 	e.hWait.Observe(time.Since(t.enq))
 	e.gBusy.Max(e.busy.Add(1))
 	if h := e.testHookStart; h != nil {
@@ -429,14 +511,16 @@ func (e *Engine) runJob(t *task) {
 // output arena) and runs the convolution, filling t.res / t.err.
 func (e *Engine) execute(t *task) {
 	wait := time.Since(t.enq)
-	p := e.pipes.lookup(t.box)
+	ks := e.kern.Load()
+	key := pipeKey{box: t.box, kernel: ks.fp}
+	p := e.pipes.lookup(key)
 	if p != nil {
 		e.cPlanHits.Add(1)
 	} else {
 		var planHit bool
 		var err error
-		p, err = e.pipes.insert(t.box, func() (*pipeline, error) {
-			return e.buildPipeline(t.box, &planHit)
+		p, err = e.pipes.insert(key, func() (*pipeline, error) {
+			return e.buildPipeline(t.box, ks, &planHit)
 		})
 		if err != nil {
 			t.err = err
@@ -467,8 +551,12 @@ func (e *Engine) execute(t *task) {
 }
 
 // buildPipeline assembles a pipeline for box on a cache miss: shared
-// plans from the plan LRU, a fresh sampling octree, the engine's kernel.
-func (e *Engine) buildPipeline(box grid.Box, planHit *bool) (*pipeline, error) {
+// plans from the plan LRU, a fresh sampling octree, the given kernel
+// generation. Plan sets are pure FFT machinery — twiddle tables and
+// permutations independent of the kernel — so the plan LRU key omits the
+// fingerprint; everything kernel-dependent lives in the pipeline, whose
+// cache key carries it.
+func (e *Engine) buildPipeline(box grid.Box, ks *kernelState, planHit *bool) (*pipeline, error) {
 	k := box.Hi[0] - box.Lo[0]
 	ps, hit, err := e.plans.get(planKey{
 		dim: e.dim, k: k, pruned: e.cfg.Pruned, workers: fft.Workers(e.cfg.Workers),
@@ -481,7 +569,35 @@ func (e *Engine) buildPipeline(box grid.Box, planHit *bool) (*pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &pipeline{box: box, tree: tree, ps: ps, cfg: e.cfg, pw: e.pw}, nil
+	return &pipeline{
+		key: pipeKey{box: box, kernel: ks.fp}, box: box,
+		tree: tree, ps: ps, cfg: e.cfg, pw: ks.pw,
+	}, nil
+}
+
+// kernelState is one immutable kernel generation: the pointwise callback
+// pipelines apply and the fingerprint that keys cached pipelines, swapped
+// atomically by UpdateKernel.
+type kernelState struct {
+	pw conv.Pointwise
+	fp uint64
+}
+
+// UpdateKernel replaces the engine's frequency-domain kernel. Jobs
+// dispatched after the swap build (or hit) pipelines keyed by the new
+// kernel's fingerprint, so no job is ever served a pipeline caching a
+// stale pointwise table; pipelines for the old kernel age out of the LRU.
+// Jobs already executing finish under the kernel they started with.
+func (e *Engine) UpdateKernel(k green.Kernel) error {
+	if k == nil {
+		return fmt.Errorf("serve: nil kernel")
+	}
+	e.kern.Store(&kernelState{
+		pw: conv.KernelPointwise(e.dim, k),
+		fp: green.Fingerprint(e.dim, k),
+	})
+	e.cKernelUpdates.Add(1)
+	return nil
 }
 
 // Drain stops admission, lets every accepted job finish, and shuts the

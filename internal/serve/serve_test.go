@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"sync"
@@ -51,7 +52,7 @@ func TestSubmitMatchesDirectPipeline(t *testing.T) {
 	in := testField(4, 3)
 	e := testEngine(t, Options{Dim: dim, Workers: 2})
 
-	res, err := e.Submit("a", box, in)
+	res, err := e.Submit(context.Background(), "a", box, in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,14 +98,14 @@ func TestWarmSubmitZeroAllocs(t *testing.T) {
 		Dim: dim, Workers: 1, Device: gpu.V100_16GB(),
 	})
 	for i := 0; i < 5; i++ { // warm plans, pools, tenant queue, task pool
-		res, err := e.Submit("tenant", box, in)
+		res, err := e.Submit(context.Background(), "tenant", box, in)
 		if err != nil {
 			t.Fatal(err)
 		}
 		res.Release()
 	}
 	allocs := testing.AllocsPerRun(100, func() {
-		res, err := e.Submit("tenant", box, in)
+		res, err := e.Submit(context.Background(), "tenant", box, in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -133,12 +134,12 @@ func TestOverloadQueueFull(t *testing.T) {
 
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go func() { defer wg.Done(); e.Submit("a", box, in) }()
+	go func() { defer wg.Done(); e.Submit(context.Background(), "a", box, in) }()
 	<-started // worker now blocked inside job 1
-	go func() { defer wg.Done(); e.Submit("a", box, in) }()
+	go func() { defer wg.Done(); e.Submit(context.Background(), "a", box, in) }()
 	waitFor(t, func() bool { return e.QueueDepth() == 1 })
 
-	_, err := e.Submit("a", box, in)
+	_, err := e.Submit(context.Background(), "a", box, in)
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("err = %v, want ErrOverloaded", err)
 	}
@@ -175,7 +176,7 @@ func TestOverloadDeviceMemory(t *testing.T) {
 	tiny := &gpu.Device{Name: "tiny", Capacity: 1024} // smaller than any job
 	e := testEngine(t, Options{Dim: dim, Workers: 1, Device: tiny})
 	box := grid.CubeAt(grid.Point{0, 0, 0}, 4)
-	_, err := e.Submit("a", box, testField(4, 1))
+	_, err := e.Submit(context.Background(), "a", box, testField(4, 1))
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("err = %v, want ErrOverloaded", err)
 	}
@@ -210,7 +211,7 @@ func TestTenantFairness(t *testing.T) {
 	var wg sync.WaitGroup
 	submit := func(tenant string) {
 		wg.Add(1)
-		go func() { defer wg.Done(); e.Submit(tenant, box, in) }()
+		go func() { defer wg.Done(); e.Submit(context.Background(), tenant, box, in) }()
 	}
 	submit("a")
 	first := <-started // worker busy on a's first job; queue is empty
@@ -252,7 +253,7 @@ func TestPlanSetSharedAcrossBoxes(t *testing.T) {
 	}
 	for _, b := range boxes {
 		for i := 0; i < 2; i++ {
-			res, err := e.Submit("a", b, in)
+			res, err := e.Submit(context.Background(), "a", b, in)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -290,7 +291,7 @@ func TestDrain(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := e.Submit("a", box, in)
+			res, err := e.Submit(context.Background(), "a", box, in)
 			mu.Lock()
 			defer mu.Unlock()
 			switch {
@@ -309,7 +310,7 @@ func TestDrain(t *testing.T) {
 	if completed+refused != jobs {
 		t.Fatalf("completed %d + refused %d != %d submitted", completed, refused, jobs)
 	}
-	if _, err := e.Submit("a", box, in); !errors.Is(err, ErrClosed) {
+	if _, err := e.Submit(context.Background(), "a", box, in); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Submit after Drain: err = %v, want ErrClosed", err)
 	}
 	e.Drain() // idempotent
@@ -323,13 +324,13 @@ func TestDrain(t *testing.T) {
 func TestSubmitValidation(t *testing.T) {
 	e := testEngine(t, Options{Workers: 1})
 	in := testField(4, 1)
-	if _, err := e.Submit("a", grid.BoxAt(grid.Point{0, 0, 0}, 4, 4, 2), in); err == nil {
+	if _, err := e.Submit(context.Background(), "a", grid.BoxAt(grid.Point{0, 0, 0}, 4, 4, 2), in); err == nil {
 		t.Error("non-cubic box accepted")
 	}
-	if _, err := e.Submit("a", grid.CubeAt(grid.Point{14, 0, 0}, 4), in); err == nil {
+	if _, err := e.Submit(context.Background(), "a", grid.CubeAt(grid.Point{14, 0, 0}, 4), in); err == nil {
 		t.Error("out-of-grid box accepted")
 	}
-	if _, err := e.Submit("a", grid.CubeAt(grid.Point{0, 0, 0}, 8), in); err == nil {
+	if _, err := e.Submit(context.Background(), "a", grid.CubeAt(grid.Point{0, 0, 0}, 8), in); err == nil {
 		t.Error("input/box size mismatch accepted")
 	}
 }
@@ -342,5 +343,147 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("timed out waiting for condition")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSubmitContextCancelQueued is the cancellation regression test: a
+// cancelled queued job is removed without running, releases its ledger
+// reservation, and — the part tenants feel — frees its queue slot for a
+// waiting tenant while the engine is saturated.
+func TestSubmitContextCancelQueued(t *testing.T) {
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	dev := gpu.V100_16GB()
+	e := testEngine(t, Options{
+		Workers: 1, QueueDepth: 1, Device: dev,
+		testHook: func(tenant string) { started <- tenant; <-release },
+	})
+	box := grid.CubeAt(grid.Point{0, 0, 0}, 4)
+	in := testField(4, 1)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); e.Submit(context.Background(), "a", box, in) }()
+	<-started // worker pinned inside a's first job
+	usedBusy := dev.Used()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	wg.Add(1)
+	go func() { defer wg.Done(); _, err := e.Submit(ctx, "a", box, in); errc <- err }()
+	waitFor(t, func() bool { return e.QueueDepth() == 1 })
+
+	// Queue full: tenant b is shut out.
+	if _, err := e.Submit(context.Background(), "b", box, in); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue-full submit: err = %v, want ErrOverloaded", err)
+	}
+
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled submit: err = %v, want context.Canceled", err)
+	}
+	waitFor(t, func() bool { return e.QueueDepth() == 0 })
+	if got := dev.Used(); got != usedBusy {
+		t.Errorf("ledger holds %d bytes after cancel, want %d (running job only)", got, usedBusy)
+	}
+
+	// The slot the cancelled job held is immediately available to b.
+	wg.Add(1)
+	go func() { defer wg.Done(); e.Submit(context.Background(), "b", box, in) }()
+	waitFor(t, func() bool { return e.QueueDepth() == 1 })
+	close(release)
+	wg.Wait()
+
+	if got := e.Trace().CounterValue("serve.jobs_cancelled"); got != 1 {
+		t.Errorf("serve.jobs_cancelled = %d, want 1", got)
+	}
+	if got := e.Trace().CounterValue("serve.jobs_completed"); got != 2 {
+		t.Errorf("serve.jobs_completed = %d, want 2 (cancelled job never ran)", got)
+	}
+}
+
+// TestSubmitContextExpiredBeforeDequeue pins the worker-side guard: a
+// task whose deadline passed while queued is skipped by the worker (no
+// pipeline work, ledger released) and returns the context error.
+func TestSubmitContextExpiredBeforeDequeue(t *testing.T) {
+	e := testEngine(t, Options{Workers: 1, QueueDepth: 4})
+	box := grid.CubeAt(grid.Point{0, 0, 0}, 4)
+	in := testField(4, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before admission
+	if _, err := e.Submit(ctx, "a", box, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled submit: err = %v, want context.Canceled", err)
+	}
+	// Deadline in the past behaves identically.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	if _, err := e.Submit(dctx, "a", box, in); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired submit: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestUpdateKernelInvalidatesPipelines is the stale-plan regression test:
+// before pipelines were keyed on a kernel fingerprint, a Submit after
+// UpdateKernel hit the pipeline cached for the old kernel and returned
+// stale samples. The delta kernel reproduces the input exactly, so the
+// stale and fresh results are maximally distinguishable.
+func TestUpdateKernelInvalidatesPipelines(t *testing.T) {
+	dim := grid.Cube(16)
+	box := grid.CubeAt(grid.Point{4, 4, 4}, 4)
+	in := testField(4, 11)
+	e := testEngine(t, Options{Dim: dim, Workers: 1, Kernel: green.Delta{}})
+
+	res1, err := e.Submit(context.Background(), "a", box, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), res1.Output.Samples...)
+	res1.Release()
+
+	if err := e.UpdateKernel(green.Gaussian{Sigma: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := e.Submit(context.Background(), "a", box, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Release()
+
+	same := true
+	for i := range before {
+		if res2.Output.Samples[i] != before[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("post-update result identical to pre-update result: stale cached pipeline served")
+	}
+
+	// And the new result must match a fresh direct pipeline under the new
+	// kernel — invalidation without correctness would be worse.
+	tree, err := sample.DefaultPolicy(box, 8).Tree(dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := conv.NewLocal(dim, box, tree, conv.KernelPointwise(dim, green.Gaussian{Sigma: 1.5}), conv.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := local.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Samples {
+		if res2.Output.Samples[i] != want.Samples[i] {
+			t.Fatalf("sample %d after update: served %g, direct %g", i, res2.Output.Samples[i], want.Samples[i])
+		}
+	}
+	if got := e.Trace().CounterValue("serve.kernel_updates"); got != 1 {
+		t.Errorf("serve.kernel_updates = %d, want 1", got)
+	}
+	// Old and new kernel generations occupy distinct cache entries.
+	if got := e.pipes.len(); got != 2 {
+		t.Errorf("pipeline cache holds %d entries, want 2 (one per kernel generation)", got)
 	}
 }

@@ -67,6 +67,28 @@ var helpText = map[string]string{
 	"ckpt.bytes_written":             "Durable checkpoint bytes written (temp+fsync+rename).",
 	"ckpt.saves":                     "Durable checkpoint deposits completed.",
 	"ckpt.max_file_bytes":            "Largest single checkpoint file written.",
+	"serve.jobs_cancelled":           "Queued jobs freed because their context ended before a worker picked them up.",
+	"serve.kernel_updates":           "Live kernel swaps (UpdateKernel); each bumps the fingerprint that keys the plan cache.",
+	"wire.sessions_opened":           "Wire sessions opened by a client Hello without a resumable token.",
+	"wire.sessions_resumed":          "Reconnects that re-attached to a live session by token (streaming resumes from the last ack).",
+	"wire.sessions_expired":          "Detached sessions reaped after SessionTTL with their undelivered results.",
+	"wire.sessions_live":             "High-water concurrent wire sessions.",
+	"wire.jobs_submitted":            "Jobs accepted off the wire and handed to the serving engine.",
+	"wire.jobs_completed":            "Wire jobs fully streamed and acked to the client.",
+	"wire.jobs_rejected":             "Wire jobs refused with a typed overload/closing status (admission control surfaced to the network).",
+	"wire.jobs_failed":               "Wire jobs that failed server-side (StatusInternal).",
+	"wire.jobs_cancelled":            "Wire jobs ended by client cancellation or deadline expiry.",
+	"wire.chunks_sent":               "Result chunks (sample.Chunk frames) streamed to clients, retransmits included.",
+	"wire.chunk_bytes_sent":          "Result chunk payload bytes streamed to clients, retransmits included.",
+	"wire.frames_corrupt":            "Inbound frames rejected by the header/payload CRCs (the chaos matrix's corrupt faults land here).",
+	"wire.pings_sent":                "Keepalive pings sent to prove server liveness to quiet clients.",
+	"wire.job_stream_seconds":        "Submit-to-final-ack latency of one wire job (compute plus backpressured result streaming).",
+	"wire.client.reconnects":         "Client connections re-established after a transport failure.",
+	"wire.client.resumes":            "Client resume requests sent after reconnecting (stream continues from the assembled offset).",
+	"wire.client.retries":            "Client resubmits after a retryable overload status, honoring the server's retry-after hint.",
+	"wire.client.restarts":           "Client jobs restarted from byte zero because the server no longer held the session.",
+	"wire.client.jobs_completed":     "Client jobs that returned a fully assembled, CRC-verified result.",
+	"wire.client.frames_corrupt":     "Inbound frames or chunks the client rejected as corrupt before resuming.",
 }
 
 // MetricName converts an obs registry name to its exported Prometheus

@@ -1,0 +1,60 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWireFrameCodec hammers the frame decoder and every payload decoder
+// with arbitrary bytes. The invariants:
+//
+//   - ReadFrame never panics and never returns a payload larger than
+//     MaxFramePayload (the bounded-allocation contract: a hostile length
+//     field must not size an allocation the stream cannot back).
+//   - An accepted frame re-encodes canonically: EncodeFrame of the
+//     decoded (type, payload) reproduces exactly the bytes consumed.
+//   - No payload decoder panics on any byte string, whatever frame type
+//     claimed to carry it — CRCs authenticate transit, not peers.
+func FuzzWireFrameCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeFrame(FramePing, nil))
+	f.Add(EncodeFrame(FrameHello, helloMsg{Version: ProtoVersion, Token: "tok"}.encode()))
+	f.Add(EncodeFrame(FrameAck, ackMsg{Job: 1, Offset: 64}.encode()))
+	truncated := EncodeFrame(FrameStatus, statusMsg{Job: 2, Code: StatusInternal, Msg: "x"}.encode())
+	f.Add(truncated[:len(truncated)-2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		ft, payload, err := ReadFrame(r)
+		if err == nil {
+			if len(payload) > MaxFramePayload {
+				t.Fatalf("accepted %d-byte payload beyond MaxFramePayload", len(payload))
+			}
+			consumed := len(data) - r.Len()
+			if want := HeaderSize + len(payload); consumed != want {
+				t.Fatalf("consumed %d bytes for a %d-byte frame", consumed, want)
+			}
+			reenc := EncodeFrame(ft, payload)
+			if !bytes.Equal(reenc, data[:consumed]) {
+				t.Fatalf("decode/encode is not canonical: %x != %x", reenc, data[:consumed])
+			}
+			ft2, p2, err2 := ReadFrame(bytes.NewReader(reenc))
+			if err2 != nil || ft2 != ft || !bytes.Equal(p2, payload) {
+				t.Fatalf("re-read of re-encoded frame: %v %v", ft2, err2)
+			}
+		}
+
+		// Every payload decoder must survive the raw input regardless of
+		// framing outcome. Errors are expected; panics and runaway
+		// allocations are not.
+		decodeHello(data)
+		decodeWelcome(data)
+		decodeSubmit(data)
+		decodeChunk(data)
+		decodeAck(data)
+		decodeDone(data)
+		decodeStatus(data)
+		decodeResume(data)
+		decodeCancel(data)
+	})
+}

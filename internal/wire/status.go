@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"lowcomm3d/internal/gpu"
+	"lowcomm3d/internal/serve"
+)
+
+// Status is a typed wire status code. The mapping to engine errors is
+// part of the protocol contract (README "Wire protocol"):
+//
+//	StatusOverloadedQueue  ← *serve.OverloadError, Reason "queue full"
+//	StatusOverloadedMemory ← *serve.OverloadError wrapping gpu.ErrOutOfMemory
+//	StatusClosing          ← serve.ErrClosed (engine or server draining)
+//	StatusCancelled        ← context.Canceled
+//	StatusDeadline         ← context.DeadlineExceeded
+//
+// and back: a client StatusError unwraps to the matching sentinel, so
+// errors.Is(err, serve.ErrOverloaded) holds across the wire exactly as it
+// does in-process.
+type Status uint16
+
+const (
+	// StatusOK is never sent; it is the zero value.
+	StatusOK Status = iota
+	// StatusBadRequest rejects a malformed or protocol-violating message.
+	StatusBadRequest
+	// StatusOverloadedQueue rejects a job because the engine's bounded
+	// queue is full; RetryAfter carries the engine's hint.
+	StatusOverloadedQueue
+	// StatusOverloadedMemory rejects a job because the device ledger
+	// refused its modeled footprint; RetryAfter carries the engine's hint.
+	StatusOverloadedMemory
+	// StatusClosing rejects a job because the server (or engine) is
+	// draining.
+	StatusClosing
+	// StatusCancelled reports a job cancelled by the client.
+	StatusCancelled
+	// StatusDeadline reports a job whose deadline expired before it ran
+	// to completion.
+	StatusDeadline
+	// StatusUnknownSession answers a resume attempt whose token matches
+	// no live session (expired, or the server restarted).
+	StatusUnknownSession
+	// StatusUnknownJob answers a resume attempt for a job the session
+	// does not hold (the submit never arrived, or the job fully
+	// completed and was forgotten).
+	StatusUnknownJob
+	// StatusInternal reports a server-side failure executing the job.
+	StatusInternal
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusOverloadedQueue:
+		return "overloaded-queue"
+	case StatusOverloadedMemory:
+		return "overloaded-memory"
+	case StatusClosing:
+		return "closing"
+	case StatusCancelled:
+		return "cancelled"
+	case StatusDeadline:
+		return "deadline"
+	case StatusUnknownSession:
+		return "unknown-session"
+	case StatusUnknownJob:
+		return "unknown-job"
+	case StatusInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("status(%d)", uint16(s))
+	}
+}
+
+// statusOf maps an engine-side Submit error to its wire status code plus
+// the retry-after hint to forward.
+func statusOf(err error) (code Status, retryAfter time.Duration) {
+	var ov *serve.OverloadError
+	switch {
+	case errors.As(err, &ov):
+		if errors.Is(err, gpu.ErrOutOfMemory) {
+			return StatusOverloadedMemory, ov.RetryAfter
+		}
+		return StatusOverloadedQueue, ov.RetryAfter
+	case errors.Is(err, serve.ErrClosed):
+		return StatusClosing, 0
+	case errors.Is(err, context.Canceled):
+		return StatusCancelled, 0
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusDeadline, 0
+	default:
+		return StatusInternal, 0
+	}
+}
+
+// Retryable reports whether the status marks a transient condition a
+// client should retry (honoring RetryAfter) rather than surface.
+func (s Status) Retryable() bool {
+	return s == StatusOverloadedQueue || s == StatusOverloadedMemory
+}
+
+// StatusError is the typed client-side error for a server status frame.
+// It unwraps to the engine sentinel the code maps from, so callers keep
+// using errors.Is(err, serve.ErrOverloaded) / gpu.ErrOutOfMemory /
+// serve.ErrClosed / context.Canceled / context.DeadlineExceeded across
+// the wire.
+type StatusError struct {
+	Code       Status
+	RetryAfter time.Duration // server hint; zero when the code carries none
+	Msg        string        // server-side error text, advisory only
+}
+
+func (e *StatusError) Error() string {
+	s := fmt.Sprintf("wire: %s", e.Code)
+	if e.RetryAfter > 0 {
+		s += fmt.Sprintf(" (retry after %v)", e.RetryAfter)
+	}
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	return s
+}
+
+// Unwrap exposes the engine sentinels matching the status code.
+func (e *StatusError) Unwrap() []error {
+	switch e.Code {
+	case StatusOverloadedQueue:
+		return []error{serve.ErrOverloaded}
+	case StatusOverloadedMemory:
+		return []error{serve.ErrOverloaded, gpu.ErrOutOfMemory}
+	case StatusClosing:
+		return []error{serve.ErrClosed}
+	case StatusCancelled:
+		return []error{context.Canceled}
+	case StatusDeadline:
+		return []error{context.DeadlineExceeded}
+	default:
+		return nil
+	}
+}
