@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"lowcomm3d/internal/fleet"
+	"lowcomm3d/internal/gpu"
+	"lowcomm3d/internal/report"
+)
+
+// fleetLoadStudy drives the fleet scheduler's deterministic simulation
+// harness across fleet shapes: the same seeded job stream placed onto
+// fleets that differ in width, node-box layout, and batching/stealing
+// limits. The invariants the property tests pin (no overcommit, balanced
+// ledger) hold here too; the table shows how shape moves admission,
+// stealing, and the realized same-k batching factor (§5.1).
+func fleetLoadStudy() error {
+	t := report.New("Fleet scheduler — seeded simulated load across fleet shapes (sim clock)",
+		"shape", "devices", "boxes", "jobs", "placed", "rejected", "no-fit",
+		"steals", "batch factor", "sim time")
+	for _, sc := range []struct {
+		name               string
+		devices, boxes     int
+		jobs               int
+		maxBatch, stealMin int
+	}{
+		{"narrow, one box", 2, 1, 96, 4, 1},
+		{"one box", 4, 1, 128, 4, 1},
+		{"two boxes", 4, 2, 128, 4, 1},
+		{"wide, two boxes", 8, 2, 256, 4, 1},
+		{"wide, batch-heavy", 8, 2, 256, 8, 2},
+	} {
+		rep, err := fleet.RunSim(fleet.SimConfig{
+			Seed:    7,
+			Devices: sc.devices, Boxes: sc.boxes, Jobs: sc.jobs,
+			MaxBatch: sc.maxBatch, StealMin: sc.stealMin,
+		})
+		if err != nil {
+			return err
+		}
+		factor := "—"
+		if rep.BatchRuns > 0 {
+			factor = fmt.Sprintf("%.2f", float64(rep.BatchJobs)/float64(rep.BatchRuns))
+		}
+		t.AddCells(sc.name, fmt.Sprint(sc.devices), fmt.Sprint(sc.boxes), fmt.Sprint(sc.jobs),
+			fmt.Sprint(rep.Placed), fmt.Sprint(rep.Rejected), fmt.Sprint(rep.NoFit),
+			fmt.Sprint(rep.Steals), factor, report.Seconds(rep.Elapsed.Seconds()))
+	}
+	t.Render(os.Stdout)
+
+	// Placement pricing: what the α-β cost model (Eq. 2 links: NVLink
+	// intra-box, IB cross-box) charges for one k-job landing on an idle
+	// 32 GB fleet, home box 0 — the per-decision view under the table
+	// above.
+	devs := []*gpu.Device{gpu.V100_32GB(), gpu.V100_32GB(), gpu.V100_32GB(), gpu.V100_32GB()}
+	s, err := fleet.NewScheduler(fleet.Options{
+		Devices: devs, BoxOf: []int{0, 0, 1, 1}, N: 1024, FarRate: 16,
+	})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	t2 := report.New("Placement cost — cheapest admissible device for one job, idle 4×V100-32GB fleet (2 boxes)",
+		"k", "footprint", "modeled cost")
+	for _, k := range []int{16, 32, 64, 128} {
+		fp := s.Footprint(k)
+		di, cost, fits := s.BestCost(k, fp, 0)
+		if !fits {
+			return fmt.Errorf("paperbench: k=%d does not fit an idle 32GB fleet", k)
+		}
+		t2.AddCells(fmt.Sprint(k), report.Bytes(fp),
+			fmt.Sprintf("%s (dev %d)", report.Seconds(cost), di))
+	}
+	fmt.Println()
+	t2.Render(os.Stdout)
+	return nil
+}

@@ -14,6 +14,7 @@
 //	paperbench -chaos        self-healing study: crash/straggler/OOM schedules against the healing solve
 //	paperbench -serve-load   §3.1 serving: seeded open-loop load against the steady-state engine
 //	paperbench -wire-load    wire front door over loopback TCP under seeded connection faults
+//	paperbench -fleet-load   fleet scheduler under seeded simulated load across fleet shapes
 //	paperbench -all          everything above
 package main
 
@@ -57,6 +58,7 @@ func main() {
 		sweep   = flag.Bool("sweep", false, "measured accuracy/compression tradeoff across far rates (§5.4)")
 		sLoad   = flag.Bool("serve-load", false, "seeded open-loop load against the steady-state serving engine (§3.1)")
 		wLoad   = flag.Bool("wire-load", false, "wire-protocol front door over loopback TCP under seeded connection faults")
+		fLoad   = flag.Bool("fleet-load", false, "fleet scheduler under seeded simulated load across fleet shapes")
 		all     = flag.Bool("all", false, "run everything")
 		traceTo = flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto JSON) of the run to this file")
 		serve   = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /flight, /debug/pprof) on this address, e.g. :8080, and block after the run")
@@ -121,6 +123,7 @@ func main() {
 	run(*sweep, rateSweep)
 	run(*sLoad, serveLoadStudy)
 	run(*wLoad, wireLoadStudy)
+	run(*fLoad, fleetLoadStudy)
 	if !ran && *serve == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,65 @@
+package fleet
+
+import (
+	"testing"
+
+	"lowcomm3d/internal/gpu"
+)
+
+func benchScheduler(b *testing.B) *Scheduler {
+	b.Helper()
+	devs := make([]*gpu.Device, 8)
+	boxes := make([]int, 8)
+	for i := range devs {
+		devs[i] = &gpu.Device{Name: "bench", Capacity: 32 * gpu.GiB}
+		boxes[i] = i / 4
+	}
+	s, err := NewScheduler(Options{Devices: devs, BoxOf: boxes, N: 1024, FarRate: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkFleetPlacement measures the serve-facing admission hot path —
+// cheapest-device selection plus ledger reservation — which must stay
+// allocation-free so a warm serve.Submit stays at 0 allocs/op.
+func BenchmarkFleetPlacement(b *testing.B) {
+	s := benchScheduler(b)
+	defer s.Close()
+	fp := s.Footprint(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		di, err := s.Place(32, fp, i&1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Release(di, fp)
+	}
+}
+
+// TestPlacementZeroAllocs pins the benchmark's allocs/op at exactly zero
+// (the benchdiff gate enforces the same bound across PRs).
+func TestPlacementZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	devs := []*gpu.Device{gpu.V100_32GB(), gpu.V100_32GB()}
+	s, err := NewScheduler(Options{Devices: devs, N: 1024, FarRate: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fp := s.Footprint(32)
+	allocs := testing.AllocsPerRun(200, func() {
+		di, err := s.Place(32, fp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Release(di, fp)
+	})
+	if allocs != 0 {
+		t.Errorf("Place/Release allocates %v objects per op, want 0", allocs)
+	}
+}

@@ -1,0 +1,380 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lowcomm3d/internal/cluster"
+	"lowcomm3d/internal/conv"
+	"lowcomm3d/internal/gpu"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/sample"
+)
+
+// EngineOptions configures a fleet Engine.
+type EngineOptions struct {
+	// Fleet configures the scheduler: devices, boxes, grid edge N,
+	// far-field rate, queue depths, batch width, cost model.
+	Fleet Options
+
+	// Kernel is the Green's function convolved against.
+	Kernel green.Kernel
+
+	// SubSize fixes the decomposition edge k. 0 picks the largest divisor
+	// of N (≤ N/2) whose modeled footprint fits some device — the Table 2
+	// AllowableK selection applied fleet-wide. A fixed SubSize whose
+	// footprint exceeds every device spills to the distributed path.
+	SubSize int
+
+	// Conv is the per-pipeline configuration (workers, pruning, trace).
+	Conv conv.Config
+
+	// SpillWorkers sizes the simulated cluster for spilled solves (≤0: 4;
+	// clamped to a divisor of N). SpillParams prices its fabric (zero
+	// value: DefaultIB).
+	SpillWorkers int
+	SpillParams  cluster.Params
+}
+
+// SolveStats summarizes one solve.
+type SolveStats struct {
+	K           int   // decomposition edge used
+	Jobs        int   // sub-domain jobs run (zero boxes skipped)
+	SkippedZero int   // all-zero sub-domains skipped
+	Devices     int   // distinct devices that executed jobs (0 when spilled)
+	Spilled     bool  // true when the solve ran on the distributed path
+	SpillBytes  int64 // fabric bytes of the spill exchange (counted, not modeled)
+}
+
+// Engine executes decomposed convolutions over a device fleet: Solve
+// decomposes the input, enqueues one task per non-zero sub-domain, and
+// per-device runners drain batches of same-k tasks through a shared
+// conv.PlanSet (stages A and C amortized across tenants — the §5.4 batch
+// dial applied across jobs). Results accumulate in canonical sub-domain
+// order, so the output is byte-identical regardless of which device ran
+// which job, how batches formed, or whether work was stolen — and
+// byte-identical to the spill path, which assembles in the same order.
+type Engine struct {
+	sched *Scheduler
+	opts  EngineOptions
+	dim   grid.Dim3
+	far   int
+	pw    conv.Pointwise
+
+	mu     sync.Mutex
+	plans  map[int]*conv.PlanSet
+	closed bool
+
+	runners sync.WaitGroup
+}
+
+// NewEngine builds the engine and starts one runner per device.
+func NewEngine(opts EngineOptions) (*Engine, error) {
+	if opts.Kernel == nil {
+		return nil, fmt.Errorf("fleet: nil kernel")
+	}
+	sched, err := NewScheduler(opts.Fleet)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		sched: sched,
+		opts:  opts,
+		dim:   grid.Cube(opts.Fleet.N),
+		far:   sched.far,
+		plans: map[int]*conv.PlanSet{},
+	}
+	e.pw = conv.KernelPointwise(e.dim, opts.Kernel)
+	for di := 0; di < sched.Devices(); di++ {
+		e.runners.Add(1)
+		go e.runDevice(di)
+	}
+	return e, nil
+}
+
+// Scheduler exposes the underlying scheduler (status, audit, metrics).
+func (e *Engine) Scheduler() *Scheduler { return e.sched }
+
+// Status snapshots the fleet.
+func (e *Engine) Status() []DeviceStatus { return e.sched.Status() }
+
+// Close stops the runners after the queues drain. In-flight Solve calls
+// must complete first; Solve after Close returns ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.sched.Close()
+	e.runners.Wait()
+}
+
+func (e *Engine) planSet(k int) (*conv.PlanSet, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ps, ok := e.plans[k]; ok {
+		return ps, nil
+	}
+	ps, err := conv.NewPlanSet(e.dim, k, e.opts.Conv.Workers, e.opts.Conv.Pruned)
+	if err != nil {
+		return nil, err
+	}
+	e.plans[k] = ps
+	return ps, nil
+}
+
+// runDevice is the per-device runner: block for a batch (stealing when
+// idle), execute it through the shared plan set, release and report.
+func (e *Engine) runDevice(di int) {
+	defer e.runners.Done()
+	buf := make([]*Task, 0, e.sched.maxBatch)
+	for {
+		batch := e.sched.WaitBatch(di, buf)
+		if batch == nil {
+			return
+		}
+		e.runBatch(di, batch)
+	}
+}
+
+func (e *Engine) runBatch(di int, batch []*Task) {
+	t0 := time.Now()
+	ps, psErr := e.planSet(batch[0].K)
+	for _, t := range batch {
+		if psErr != nil {
+			t.Err = psErr
+			continue
+		}
+		t.Result, t.Err = e.runTask(ps, t)
+	}
+	e.sched.Complete(di, batch, time.Since(t0))
+	for _, t := range batch {
+		if t.wg != nil {
+			t.wg.Done()
+		}
+	}
+}
+
+func (e *Engine) runTask(ps *conv.PlanSet, t *Task) (*sample.Compressed, error) {
+	tree, err := sample.DefaultPolicy(t.Box, e.far).Tree(e.dim)
+	if err != nil {
+		return nil, err
+	}
+	local, err := ps.NewLocal(t.Box, tree, e.pw, e.opts.Conv)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := t.Input.ExtractBox(t.Box)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := local.Run(sub)
+	return res, err
+}
+
+// pickK chooses the decomposition edge and whether the solve spills: a
+// fixed SubSize spills when its footprint exceeds every capacity; auto
+// selection walks divisors of N downward from N/2 and takes the largest
+// whose footprint some device can hold (Table 2's AllowableK logic
+// applied to the fleet), spilling only if even the smallest divisor is
+// too large.
+func (e *Engine) pickK() (int, bool) {
+	n := e.opts.Fleet.N
+	max := gpu.MaxCapacity(e.opts.Fleet.Devices)
+	if e.opts.SubSize > 0 {
+		return e.opts.SubSize, gpu.JobFootprint(n, e.opts.SubSize, e.far) > max
+	}
+	smallest := n
+	for k := n / 2; k >= 2; k-- {
+		if n%k != 0 {
+			continue
+		}
+		if gpu.JobFootprint(n, k, e.far) <= max {
+			return k, false
+		}
+		smallest = k
+	}
+	return smallest, true
+}
+
+// Solve convolves f with the engine kernel across the fleet. The result
+// is byte-identical for a given (f, k) regardless of fleet shape,
+// scheduling order, steals, or spilling.
+func (e *Engine) Solve(tenant string, f *grid.Field) (*grid.Field, SolveStats, error) {
+	var st SolveStats
+	if f.Dim != e.dim {
+		return nil, st, fmt.Errorf("fleet: field %v does not match engine grid %v", f.Dim, e.dim)
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return nil, st, ErrClosed
+	}
+	k, spill := e.pickK()
+	st.K = k
+	boxes, err := grid.Decompose(e.dim, k)
+	if err != nil {
+		return nil, st, err
+	}
+	// Canonical job list: non-zero boxes in grid.Decompose order. Every
+	// execution path accumulates results in this order, which is what
+	// makes the output schedule-independent.
+	jobs := boxes[:0:0]
+	for _, b := range boxes {
+		if f.BoxAllZero(b) {
+			st.SkippedZero++
+			continue
+		}
+		jobs = append(jobs, b)
+	}
+	st.Jobs = len(jobs)
+	if len(jobs) == 0 {
+		return grid.NewField(e.dim), st, nil
+	}
+	if spill {
+		return e.runSpill(f, jobs, k, &st)
+	}
+
+	fp := e.sched.Footprint(k)
+	results := make([]*sample.Compressed, len(jobs))
+	tasks := make([]Task, len(jobs))
+	var wg sync.WaitGroup
+	wg.Add(len(jobs))
+	enqueued := 0
+	var enqErr error
+	for i, b := range jobs {
+		t := &tasks[i]
+		*t = Task{Tenant: tenant, K: k, Footprint: fp, Box: b, Input: f, Slot: i, wg: &wg}
+		if _, err := e.sched.EnqueueBlocking(t); err != nil {
+			enqErr = err
+			break
+		}
+		enqueued++
+	}
+	for i := enqueued; i < len(jobs); i++ {
+		wg.Done()
+	}
+	wg.Wait()
+	if enqErr != nil {
+		return nil, st, enqErr
+	}
+	devs := map[int]bool{}
+	for i := range tasks {
+		t := &tasks[i]
+		if t.Err != nil {
+			return nil, st, fmt.Errorf("fleet: job %d (%v): %w", i, t.Box, t.Err)
+		}
+		results[i] = t.Result
+		devs[t.Device()] = true
+	}
+	st.Devices = len(devs)
+	out, err := conv.Accumulate(e.dim, results)
+	return out, st, err
+}
+
+// runSpill executes a solve too large for any device on the simulated
+// low-communication cluster: jobs are partitioned round-robin, each
+// worker convolves its share locally and ships each peer the compressed
+// patches intersecting that peer's output z-slab in a single all-to-all
+// (the fabric bytes are counted, not modeled). Results land in their
+// canonical slots, and assembly accumulates them in canonical order —
+// the same order the device path uses — so a spilled solve is
+// byte-identical to the same solve on a big-enough device.
+func (e *Engine) runSpill(f *grid.Field, jobs []grid.Box, k int, st *SolveStats) (*grid.Field, SolveStats, error) {
+	n := e.dim.Nx
+	p := e.opts.SpillWorkers
+	if p <= 0 {
+		p = 4
+	}
+	if p > len(jobs) {
+		p = len(jobs)
+	}
+	for p > 1 && n%p != 0 {
+		p--
+	}
+	params := e.opts.SpillParams
+	if params == (cluster.Params{}) {
+		params = DefaultIB()
+	}
+	c, err := cluster.New(p, params)
+	if err != nil {
+		return nil, *st, err
+	}
+	parts, err := grid.Partition(jobs, p)
+	if err != nil {
+		return nil, *st, err
+	}
+	zPer := n / p
+	region := func(q int) grid.Box {
+		return grid.BoxAt(grid.Point{0, 0, q * zPer}, n, n, zPer)
+	}
+	results := make([]*sample.Compressed, len(jobs))
+	bytesBefore, _, _, _ := c.Stats.Snapshot()
+	errs := c.RunAll(func(w *Worker) error {
+		ps, err := conv.NewPlanSet(e.dim, k, e.opts.Conv.Workers, e.opts.Conv.Pruned)
+		if err != nil {
+			return err
+		}
+		mine := make([]*sample.Compressed, len(parts[w.ID]))
+		for j, b := range parts[w.ID] {
+			tree, err := sample.DefaultPolicy(b, e.far).Tree(e.dim)
+			if err != nil {
+				return err
+			}
+			local, err := ps.NewLocal(b, tree, e.pw, e.opts.Conv)
+			if err != nil {
+				return err
+			}
+			sub, err := f.ExtractBox(b)
+			if err != nil {
+				return err
+			}
+			res, _, err := local.Run(sub)
+			if err != nil {
+				return err
+			}
+			mine[j] = res
+			// grid.Partition is round-robin: parts[w][j] is jobs[w+j*p].
+			results[w.ID+j*p] = res
+		}
+		// The single sparse exchange (Fig. 1b): each peer receives the
+		// patches intersecting its output z-slab. The engine assembles
+		// from the canonical slots for byte-stable output; the exchange
+		// still moves (and counts) the real sample traffic.
+		msgs := make([][]float64, p)
+		for q := 0; q < p; q++ {
+			var patches []sample.Patch
+			for _, res := range mine {
+				patches = append(patches, res.Patches(region(q))...)
+			}
+			msgs[q] = sample.EncodePatches(patches)
+		}
+		recv, missing, err := w.AllToAllFT(msgs)
+		if err != nil {
+			return err
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("fleet: spill exchange lost workers %v", missing)
+		}
+		for q := 0; q < p; q++ {
+			if _, err := sample.DecodePatches(recv[q]); err != nil {
+				return fmt.Errorf("fleet: spill exchange from %d: %w", q, err)
+			}
+		}
+		return nil
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, *st, err
+	}
+	bytesAfter, _, _, _ := c.Stats.Snapshot()
+	st.Spilled = true
+	st.SpillBytes = bytesAfter - bytesBefore
+	out, err := conv.Accumulate(e.dim, results)
+	return out, *st, err
+}
+
+// Worker aliases cluster.Worker for the spill callback signature.
+type Worker = cluster.Worker

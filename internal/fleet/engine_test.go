@@ -1,0 +1,269 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"lowcomm3d/internal/conv"
+	"lowcomm3d/internal/gpu"
+	"lowcomm3d/internal/green"
+	"lowcomm3d/internal/grid"
+)
+
+func testField(n int, seed int64) *grid.Field {
+	f := grid.NewField(grid.Cube(n))
+	rng := rand.New(rand.NewSource(seed))
+	for i := range f.Data {
+		f.Data[i] = rng.NormFloat64()
+	}
+	return f
+}
+
+func fieldBytes(t *testing.T, f *grid.Field) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, f.Data); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestEngine(t *testing.T, opts EngineOptions) *Engine {
+	t.Helper()
+	if opts.Kernel == nil {
+		opts.Kernel = green.Gaussian{Sigma: 1.5}
+	}
+	if opts.Conv.Workers == 0 {
+		opts.Conv = conv.Config{Workers: 1}
+	}
+	e, err := NewEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestEngineMatchesDecomposed pins the fleet engine's output against the
+// reference single-machine path: identical bytes, not just small error —
+// both accumulate per-sub-domain results in canonical box order.
+func TestEngineMatchesDecomposed(t *testing.T) {
+	const n, k, far = 32, 8, 8
+	f := testField(n, 3)
+	kernel := green.Gaussian{Sigma: 1.5}
+
+	e := newTestEngine(t, EngineOptions{
+		Fleet:   Options{Devices: []*gpu.Device{gpu.V100_32GB()}, N: n, FarRate: far},
+		Kernel:  kernel,
+		SubSize: k,
+	})
+	got, st, err := e.Solve("t", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spilled {
+		t.Fatalf("32 GB device spilled a %d³ solve", n)
+	}
+	if st.Jobs == 0 || st.K != k {
+		t.Fatalf("stats = %+v, want k=%d with jobs", st, k)
+	}
+
+	dc := conv.Decomposed{
+		Kernel: kernel, SubSize: k, FarRate: far,
+		Cfg: conv.Config{Workers: 1},
+	}
+	want, _, err := dc.Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fieldBytes(t, got), fieldBytes(t, want)) {
+		t.Errorf("fleet engine output differs from conv.Decomposed at the byte level")
+	}
+}
+
+// TestEngineFleetShapeInvariant pins schedule independence: the same
+// solve on fleets of different sizes, batch widths, and steal settings
+// produces byte-identical output — placement, batching, and stealing
+// must never change the numerics.
+func TestEngineFleetShapeInvariant(t *testing.T) {
+	const n, k, far = 32, 8, 8
+	f := testField(n, 9)
+	fleets := []Options{
+		{Devices: []*gpu.Device{gpu.V100_32GB()}, N: n, FarRate: far, MaxBatch: 1},
+		{Devices: []*gpu.Device{gpu.V100_16GB(), gpu.V100_32GB()}, N: n, FarRate: far, MaxBatch: 4},
+		{
+			Devices: []*gpu.Device{gpu.V100_16GB(), gpu.V100_16GB(), gpu.V100_32GB()},
+			BoxOf:   []int{0, 0, 1},
+			N:       n, FarRate: far, MaxBatch: 8, StealMin: 1, QueueDepth: 4,
+		},
+	}
+	var ref []byte
+	for i, fo := range fleets {
+		e := newTestEngine(t, EngineOptions{Fleet: fo, SubSize: k})
+		out, st, err := e.Solve("t", f)
+		if err != nil {
+			t.Fatalf("fleet %d: %v", i, err)
+		}
+		b := fieldBytes(t, out)
+		if ref == nil {
+			ref = b
+			continue
+		}
+		if !bytes.Equal(ref, b) {
+			t.Errorf("fleet %d (%d devices) output diverged from fleet 0", i, len(fo.Devices))
+		}
+		if st.Devices < 1 {
+			t.Errorf("fleet %d: no devices recorded in stats", i)
+		}
+	}
+}
+
+// TestSpillMatchesLocal pins the acceptance criterion that a job too
+// large for every device spills to the distributed low-comm path and
+// produces output byte-identical to the single-device path, with the
+// exchange's fabric bytes counted.
+func TestSpillMatchesLocal(t *testing.T) {
+	const n, k, far = 16, 8, 8
+	f := testField(n, 5)
+
+	local := newTestEngine(t, EngineOptions{
+		Fleet:   Options{Devices: []*gpu.Device{gpu.V100_32GB()}, N: n, FarRate: far},
+		SubSize: k,
+	})
+	want, stLocal, err := local.Solve("t", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stLocal.Spilled {
+		t.Fatal("local engine spilled")
+	}
+
+	tiny := &gpu.Device{Name: "tiny", Capacity: 1 << 12} // smaller than any k=8 job
+	spill := newTestEngine(t, EngineOptions{
+		Fleet:   Options{Devices: []*gpu.Device{tiny}, N: n, FarRate: far},
+		SubSize: k,
+	})
+	got, stSpill, err := spill.Solve("t", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stSpill.Spilled {
+		t.Fatalf("engine with %d-byte device did not spill", tiny.Capacity)
+	}
+	if stSpill.SpillBytes <= 0 {
+		t.Errorf("spill exchanged %d fabric bytes, want > 0", stSpill.SpillBytes)
+	}
+	if !bytes.Equal(fieldBytes(t, got), fieldBytes(t, want)) {
+		t.Errorf("spilled solve differs from single-device solve at the byte level")
+	}
+}
+
+// TestEngineBatchesCompatibleJobs pins the §5.4-across-jobs dial: with a
+// single device and MaxBatch 4, a dense solve's same-k jobs are admitted
+// in multi-job batches (fewer batch runs than jobs).
+func TestEngineBatchesCompatibleJobs(t *testing.T) {
+	const n, k, far = 32, 8, 8
+	e := newTestEngine(t, EngineOptions{
+		Fleet:   Options{Devices: []*gpu.Device{gpu.V100_32GB()}, N: n, FarRate: far, MaxBatch: 4},
+		SubSize: k,
+	})
+	_, st, err := e.Solve("t", testField(n, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := e.Scheduler().Trace()
+	runs := tr.CounterValue("fleet.batch_runs")
+	jobs := tr.CounterValue("fleet.batch_jobs")
+	if jobs != int64(st.Jobs) {
+		t.Errorf("fleet.batch_jobs = %d, want %d", jobs, st.Jobs)
+	}
+	if runs >= jobs {
+		t.Errorf("batch_runs = %d, batch_jobs = %d: same-k jobs never batched", runs, jobs)
+	}
+}
+
+// TestEngineAutoKPicksAdmissible pins auto sub-domain selection: with no
+// fixed SubSize the engine picks the largest divisor of N whose modeled
+// footprint fits some device (Table 2's AllowableK logic), and solves
+// without spilling.
+func TestEngineAutoKPicksAdmissible(t *testing.T) {
+	const n, far = 32, 8
+	e := newTestEngine(t, EngineOptions{
+		Fleet: Options{Devices: []*gpu.Device{gpu.V100_16GB()}, N: n, FarRate: far},
+	})
+	_, st, err := e.Solve("t", testField(n, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spilled {
+		t.Fatal("auto-k spilled on a 16 GB device")
+	}
+	if st.K <= 0 || n%st.K != 0 || st.K > n/2 {
+		t.Errorf("auto k = %d, want a divisor of %d at most %d", st.K, n, n/2)
+	}
+	if gpu.JobFootprint(n, st.K, far) > gpu.MaxCapacity([]*gpu.Device{gpu.V100_16GB()}) {
+		t.Errorf("auto k = %d does not fit the device", st.K)
+	}
+}
+
+// TestEngineCloseReleasesGoroutines pins the runner lifecycle: Close
+// joins every device runner — no goroutine leaks across engine
+// lifetimes.
+func TestEngineCloseReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		e, err := NewEngine(EngineOptions{
+			Fleet: Options{
+				Devices: []*gpu.Device{gpu.V100_16GB(), gpu.V100_16GB(), gpu.V100_32GB()},
+				N:       16, FarRate: 8,
+			},
+			Kernel:  green.Gaussian{Sigma: 1.5},
+			SubSize: 8,
+			Conv:    conv.Config{Workers: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := e.Solve("t", testField(16, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		e.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines %d > baseline %d after closing 3 engines", runtime.NumGoroutine(), before)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestEngineZeroInput pins the zero-skip path: an all-zero field runs no
+// jobs and returns an all-zero field.
+func TestEngineZeroInput(t *testing.T) {
+	const n = 16
+	e := newTestEngine(t, EngineOptions{
+		Fleet:   Options{Devices: []*gpu.Device{gpu.V100_16GB()}, N: n, FarRate: 8},
+		SubSize: 8,
+	})
+	out, st, err := e.Solve("t", grid.NewField(grid.Cube(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs != 0 || st.SkippedZero != 8 {
+		t.Errorf("stats = %+v, want 0 jobs and 8 skipped boxes", st)
+	}
+	for i, v := range out.Data {
+		if v != 0 {
+			t.Fatalf("output[%d] = %v, want 0", i, v)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package fleet
+
+// raceEnabled reports that this test binary was built with -race, where
+// allocation counts include instrumentation overhead.
+const raceEnabled = true

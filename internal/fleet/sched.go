@@ -1,0 +1,617 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lowcomm3d/internal/gpu"
+	"lowcomm3d/internal/obs"
+)
+
+// devState is one device's scheduler-side state. Everything is guarded
+// by the Scheduler mutex; the gpu.Device ledger has its own lock and is
+// the single source of truth for bytes.
+type devState struct {
+	dev       *gpu.Device
+	box       int
+	queue     []*Task
+	inflight  int
+	ewmaNanos int64
+	steals    int64
+	gQueue    *obs.Gauge
+}
+
+// Scheduler is the fleet placement core: a deterministic state machine
+// behind one mutex. serve.Engine uses Place/Release/Observe as its
+// multi-device admission ledger; the fleet Engine and RunSim drive the
+// full queue/steal/batch API.
+type Scheduler struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	devs       []devState
+	n, far     int
+	queueDepth int
+	maxBatch   int
+	stealMin   int
+	cost       CostModel
+	clock      Clock
+	log        *Log
+	tr         *obs.Trace
+	closed     bool
+	nextID     uint64
+
+	// Ledger audit (exactly-once release): admission adds to reserved,
+	// completion/cancellation to released; reservation migration during a
+	// steal is neutral. doubleReleases counts Complete calls on a task
+	// already completed — always zero unless the caller misuses the API.
+	reservedBytes  int64
+	releasedBytes  int64
+	doubleReleases int64
+
+	cPlaced, cRejected, cCompleted, cCancelled *obs.Counter
+	cSteals, cStolenJobs                       *obs.Counter
+	cBatchRuns, cBatchJobs                     *obs.Counter
+	gQueueAll, gInflight                       *obs.Gauge
+}
+
+// NewScheduler validates the fleet and builds the scheduler.
+func NewScheduler(opts Options) (*Scheduler, error) {
+	if len(opts.Devices) == 0 {
+		return nil, fmt.Errorf("fleet: empty device fleet")
+	}
+	if len(opts.Devices) > 64 {
+		return nil, fmt.Errorf("fleet: %d devices exceeds the 64-device cap", len(opts.Devices))
+	}
+	if opts.BoxOf != nil && len(opts.BoxOf) != len(opts.Devices) {
+		return nil, fmt.Errorf("fleet: BoxOf has %d entries for %d devices", len(opts.BoxOf), len(opts.Devices))
+	}
+	if opts.N <= 0 {
+		return nil, fmt.Errorf("fleet: grid edge N=%d must be positive", opts.N)
+	}
+	s := &Scheduler{
+		n:          opts.N,
+		far:        opts.FarRate,
+		queueDepth: opts.QueueDepth,
+		maxBatch:   opts.MaxBatch,
+		stealMin:   opts.StealMin,
+		cost:       opts.Cost.withDefaults(),
+		clock:      opts.Clock,
+		log:        opts.Log,
+		tr:         opts.Trace,
+	}
+	if s.far <= 0 {
+		s.far = 16
+	}
+	if s.queueDepth <= 0 {
+		s.queueDepth = 16
+	}
+	if s.maxBatch <= 0 {
+		s.maxBatch = 4
+	}
+	if s.stealMin <= 0 {
+		s.stealMin = 1
+	}
+	if s.clock == nil {
+		s.clock = WallClock{}
+	}
+	if s.tr == nil {
+		s.tr = obs.New()
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.devs = make([]devState, len(opts.Devices))
+	for i, d := range opts.Devices {
+		if d == nil {
+			return nil, fmt.Errorf("fleet: nil device at index %d", i)
+		}
+		box := 0
+		if opts.BoxOf != nil {
+			box = opts.BoxOf[i]
+		}
+		s.devs[i] = devState{
+			dev: d, box: box,
+			gQueue: s.tr.Gauge(fmt.Sprintf("fleet.dev%d.queue_depth", i)),
+		}
+	}
+	s.cPlaced = s.tr.Counter("fleet.jobs_placed")
+	s.cRejected = s.tr.Counter("fleet.jobs_rejected")
+	s.cCompleted = s.tr.Counter("fleet.jobs_completed")
+	s.cCancelled = s.tr.Counter("fleet.jobs_cancelled")
+	s.cSteals = s.tr.Counter("fleet.steals")
+	s.cStolenJobs = s.tr.Counter("fleet.stolen_jobs")
+	s.cBatchRuns = s.tr.Counter("fleet.batch_runs")
+	s.cBatchJobs = s.tr.Counter("fleet.batch_jobs")
+	s.gQueueAll = s.tr.Gauge("fleet.queue_depth")
+	s.gInflight = s.tr.Gauge("fleet.inflight")
+	return s, nil
+}
+
+// Trace returns the scheduler's metrics trace.
+func (s *Scheduler) Trace() *obs.Trace { return s.tr }
+
+// Devices returns the fleet size.
+func (s *Scheduler) Devices() int { return len(s.devs) }
+
+// Footprint prices a k³ job on this scheduler's grid.
+func (s *Scheduler) Footprint(k int) int64 { return gpu.JobFootprint(s.n, k, s.far) }
+
+// costLocked prices placing a k³ job homed in homeBox on device di.
+func (s *Scheduler) costLocked(k, homeBox, di int) (float64, error) {
+	d := &s.devs[di]
+	backlog := len(d.queue) + d.inflight
+	return s.cost.PlacementSeconds(s.n, k, s.far, d.box != homeBox, backlog, float64(d.ewmaNanos)/1e9)
+}
+
+// BestCost prices the cheapest currently-admissible device for a k³ job
+// without reserving anything. fits reports whether any device could ever
+// admit the footprint (capacity-wise); dev is -1 when none is admissible
+// right now. Exported for the metamorphic placement tests and the
+// placement benchmark.
+func (s *Scheduler) BestCost(k int, footprint int64, homeBox int) (dev int, cost float64, fits bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bestLocked(k, footprint, homeBox, false)
+}
+
+// bestLocked selects the cheapest device whose free ledger bytes admit
+// footprint (and, when forQueue, whose queue has room). Ties break
+// toward the lower index: placement is a pure function of scheduler
+// state. fits reports capacity-level admissibility on any device.
+func (s *Scheduler) bestLocked(k int, footprint int64, homeBox int, forQueue bool) (int, float64, bool) {
+	return s.bestTriedLocked(k, footprint, homeBox, forQueue, 0)
+}
+
+// overloadLocked builds the typed rejection for a job no device can admit
+// right now: the hint names the capacity-fitting device with the
+// shortest modeled wait (its own EWMA × its own backlog — per-device
+// hints, the PR 7 fix for the single-queue EWMA lie).
+func (s *Scheduler) overloadLocked(footprint int64, memoryReason bool) error {
+	best, bestWait := -1, time.Duration(0)
+	for i := range s.devs {
+		if footprint > s.devs[i].dev.Capacity {
+			continue
+		}
+		w := s.retryAfterLocked(i)
+		if best < 0 || w < bestWait {
+			best, bestWait = i, w
+		}
+	}
+	if best < 0 {
+		return fmt.Errorf("%w: footprint %d exceeds every capacity (max %d): %w",
+			ErrNoFit, footprint, gpu.MaxCapacity(s.deviceSlice()), gpu.ErrOutOfMemory)
+	}
+	oe := &OverloadError{
+		Device: best, Name: s.devs[best].dev.Name,
+		QueueDepth: len(s.devs[best].queue),
+		RetryAfter: bestWait,
+	}
+	if memoryReason {
+		oe.Reason = "device memory"
+		oe.Cause = gpu.ErrOutOfMemory
+	} else {
+		oe.Reason = "queue full"
+	}
+	return oe
+}
+
+func (s *Scheduler) deviceSlice() []*gpu.Device {
+	out := make([]*gpu.Device, len(s.devs))
+	for i := range s.devs {
+		out[i] = s.devs[i].dev
+	}
+	return out
+}
+
+// retryAfterLocked is device di's wait hint: its smoothed job duration
+// times its backlog (queued + running + the caller's job).
+func (s *Scheduler) retryAfterLocked(di int) time.Duration {
+	d := &s.devs[di]
+	mean := time.Duration(d.ewmaNanos)
+	if mean <= 0 {
+		mean = time.Millisecond
+	}
+	return mean * time.Duration(len(d.queue)+d.inflight+1)
+}
+
+// RetryAfter returns device di's current wait hint.
+func (s *Scheduler) RetryAfter(di int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retryAfterLocked(di)
+}
+
+// Place reserves footprint for one k³ job on the cheapest admissible
+// device and returns its index — the queue-less admission path
+// serve.Engine charges jobs through (serve keeps its own tenant-fair
+// queue; the fleet supplies the multi-device ledger and per-device
+// hints). Every successful Place must be paired with exactly one
+// Release.
+func (s *Scheduler) Place(k int, footprint int64, homeBox int) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return -1, ErrClosed
+	}
+	var tried uint64
+	for {
+		di, _, _ := s.bestTriedLocked(k, footprint, homeBox, false, tried)
+		if di < 0 {
+			s.cRejected.Add(1)
+			return -1, s.overloadLocked(footprint, true)
+		}
+		if err := s.devs[di].dev.Reserve(footprint); err != nil {
+			tried |= 1 << uint(di) // raced an external allocation; try the next device
+			continue
+		}
+		s.reservedBytes += footprint
+		s.devs[di].inflight++
+		s.gInflight.Max(s.inflightLocked())
+		s.cPlaced.Add(1)
+		return di, nil
+	}
+}
+
+// bestTriedLocked is bestLocked minus the devices in the tried bitmask.
+func (s *Scheduler) bestTriedLocked(k int, footprint int64, homeBox int, forQueue bool, tried uint64) (int, float64, bool) {
+	best, bestCost, fits := -1, 0.0, false
+	for i := range s.devs {
+		if tried&(1<<uint(i)) != 0 {
+			continue
+		}
+		d := &s.devs[i]
+		if footprint > d.dev.Capacity {
+			continue
+		}
+		fits = true
+		if footprint > d.dev.Free() {
+			continue
+		}
+		if forQueue && len(d.queue) >= s.queueDepth {
+			continue
+		}
+		c, err := s.costLocked(k, homeBox, i)
+		if err != nil {
+			continue
+		}
+		if best < 0 || c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best, bestCost, fits
+}
+
+// Release returns a Place reservation to device di's ledger.
+func (s *Scheduler) Release(di int, footprint int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.devs[di].dev.Release(footprint)
+	s.releasedBytes += footprint
+	if s.devs[di].inflight > 0 {
+		s.devs[di].inflight--
+	}
+	s.cCompleted.Add(1)
+	s.cond.Broadcast()
+}
+
+// Observe folds one finished job's duration into device di's EWMA — the
+// basis of that device's RetryAfter hint.
+func (s *Scheduler) Observe(di int, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observeLocked(di, d)
+}
+
+func (s *Scheduler) observeLocked(di int, d time.Duration) {
+	old := s.devs[di].ewmaNanos
+	nw := int64(d)
+	if old != 0 {
+		nw = old + (int64(d)-old)/8
+	}
+	s.devs[di].ewmaNanos = nw
+}
+
+// Enqueue places one task on the cheapest admissible device queue,
+// reserving its footprint there. The returned index is the chosen
+// device; the typed errors mirror serve's admission contract with
+// per-device hints.
+func (s *Scheduler) Enqueue(t *Task) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enqueueLocked(t)
+}
+
+// EnqueueBlocking is Enqueue with backpressure: an overloaded fleet
+// blocks the caller until capacity frees instead of rejecting — how the
+// Engine feeds a solve's full job list through bounded queues.
+func (s *Scheduler) EnqueueBlocking(t *Task) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		di, err := s.enqueueLocked(t)
+		if err == nil || !errors.Is(err, ErrOverloaded) {
+			return di, err
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *Scheduler) enqueueLocked(t *Task) (int, error) {
+	if s.closed {
+		return -1, ErrClosed
+	}
+	if t.ID == 0 {
+		s.nextID++
+		t.ID = s.nextID
+	}
+	var tried uint64
+	for {
+		di, cost, fits := s.bestTriedLocked(t.K, t.Footprint, t.HomeBox, true, tried)
+		if di < 0 {
+			s.cRejected.Add(1)
+			if !fits {
+				return -1, s.overloadLocked(t.Footprint, true)
+			}
+			// Distinguish queue-full from memory: a capacity-fitting
+			// device with queue room means memory was the binding
+			// constraint.
+			memory := false
+			for i := range s.devs {
+				if t.Footprint <= s.devs[i].dev.Capacity && len(s.devs[i].queue) < s.queueDepth {
+					memory = true
+					break
+				}
+			}
+			return -1, s.overloadLocked(t.Footprint, memory)
+		}
+		if err := s.devs[di].dev.Reserve(t.Footprint); err != nil {
+			tried |= 1 << uint(di)
+			continue
+		}
+		s.reservedBytes += t.Footprint
+		t.dev = di
+		t.done = false
+		s.devs[di].queue = append(s.devs[di].queue, t)
+		s.devs[di].gQueue.Max(int64(len(s.devs[di].queue)))
+		s.gQueueAll.Max(s.queuedLocked())
+		s.cPlaced.Add(1)
+		s.log.printf(s.clock.Now(), "submit id=%d tenant=%s k=%d fp=%d dev=%d cost=%.6e",
+			t.ID, t.Tenant, t.K, t.Footprint, di, cost)
+		s.cond.Broadcast()
+		return di, nil
+	}
+}
+
+func (s *Scheduler) queuedLocked() int64 {
+	var q int64
+	for i := range s.devs {
+		q += int64(len(s.devs[i].queue))
+	}
+	return q
+}
+
+func (s *Scheduler) inflightLocked() int64 {
+	var q int64
+	for i := range s.devs {
+		q += int64(s.devs[i].inflight)
+	}
+	return q
+}
+
+// NextBatch pops device di's next batch without blocking: up to MaxBatch
+// queued jobs sharing the head job's k, stealing from the most-loaded
+// sibling first when di's own queue is empty. Returns nil when there is
+// nothing runnable on di. dst is reused as the batch backing array.
+func (s *Scheduler) NextBatch(di int, dst []*Task) []*Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextBatchLocked(di, dst)
+}
+
+// WaitBatch blocks until a batch is runnable on di or the scheduler
+// closes (nil) — the device-runner loop of the fleet Engine.
+func (s *Scheduler) WaitBatch(di int, dst []*Task) []*Task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if b := s.nextBatchLocked(di, dst); b != nil {
+			return b
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *Scheduler) nextBatchLocked(di int, dst []*Task) []*Task {
+	d := &s.devs[di]
+	if len(d.queue) == 0 {
+		s.stealLocked(di)
+	}
+	if len(d.queue) == 0 {
+		return nil
+	}
+	k := d.queue[0].K
+	batch := dst[:0]
+	kept := d.queue[:0]
+	for _, t := range d.queue {
+		if t.K == k && len(batch) < s.maxBatch {
+			batch = append(batch, t)
+		} else {
+			kept = append(kept, t)
+		}
+	}
+	for i := len(kept); i < len(d.queue); i++ {
+		d.queue[i] = nil
+	}
+	d.queue = kept
+	d.inflight += len(batch)
+	s.gInflight.Max(s.inflightLocked())
+	s.cBatchRuns.Add(1)
+	s.cBatchJobs.Add(int64(len(batch)))
+	s.log.printf(s.clock.Now(), "batch dev=%d k=%d jobs=%d head=%d", di, k, len(batch), batch[0].ID)
+	return batch
+}
+
+// stealLocked migrates work to idle device di: pick the sibling with the
+// longest queue (≥ StealMin, ties to the lower index) and move the newer
+// half of its queue — tasks whose footprint di's ledger can admit; each
+// move releases the victim's reservation and reserves on the thief, so
+// the no-overcommit invariant holds through migration.
+func (s *Scheduler) stealLocked(di int) {
+	victim, vlen := -1, 0
+	for i := range s.devs {
+		if i == di {
+			continue
+		}
+		if l := len(s.devs[i].queue); l >= s.stealMin && l > vlen {
+			victim, vlen = i, l
+		}
+	}
+	if victim < 0 {
+		return
+	}
+	v := &s.devs[victim]
+	want := (vlen + 1) / 2
+	if want > s.maxBatch {
+		want = s.maxBatch
+	}
+	start := vlen - want
+	moved := 0
+	keep := v.queue[:start]
+	for _, t := range v.queue[start:] {
+		if t.Footprint > s.devs[di].dev.Free() {
+			keep = append(keep, t)
+			continue
+		}
+		if err := s.devs[di].dev.Reserve(t.Footprint); err != nil {
+			keep = append(keep, t)
+			continue
+		}
+		v.dev.Release(t.Footprint)
+		t.dev = di
+		s.devs[di].queue = append(s.devs[di].queue, t)
+		moved++
+	}
+	for i := len(keep); i < len(v.queue); i++ {
+		v.queue[i] = nil
+	}
+	v.queue = keep
+	if moved > 0 {
+		s.devs[di].steals++
+		s.cSteals.Add(1)
+		s.cStolenJobs.Add(int64(moved))
+		s.devs[di].gQueue.Max(int64(len(s.devs[di].queue)))
+		s.log.printf(s.clock.Now(), "steal thief=%d victim=%d moved=%d left=%d", di, victim, moved, len(v.queue))
+	}
+}
+
+// Complete releases a finished batch: exactly one ledger release per
+// task, the device EWMA fed the per-job share of the batch duration.
+func (s *Scheduler) Complete(di int, batch []*Task, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	per := d
+	if len(batch) > 0 {
+		per = d / time.Duration(len(batch))
+	}
+	for _, t := range batch {
+		if t.done {
+			s.doubleReleases++
+			continue
+		}
+		t.done = true
+		s.devs[t.dev].dev.Release(t.Footprint)
+		s.releasedBytes += t.Footprint
+		if s.devs[t.dev].inflight > 0 {
+			s.devs[t.dev].inflight--
+		}
+		s.cCompleted.Add(1)
+	}
+	s.observeLocked(di, per)
+	s.log.printf(s.clock.Now(), "done dev=%d jobs=%d per=%.6e", di, len(batch), per.Seconds())
+	s.cond.Broadcast()
+}
+
+// CancelQueued removes a still-queued task by ID, releasing its
+// reservation. It reports whether the task was found (false means a
+// runner already owns it).
+func (s *Scheduler) CancelQueued(id uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.devs {
+		d := &s.devs[i]
+		for j, t := range d.queue {
+			if t.ID != id {
+				continue
+			}
+			copy(d.queue[j:], d.queue[j+1:])
+			d.queue[len(d.queue)-1] = nil
+			d.queue = d.queue[:len(d.queue)-1]
+			t.done = true
+			d.dev.Release(t.Footprint)
+			s.releasedBytes += t.Footprint
+			s.cCancelled.Add(1)
+			s.log.printf(s.clock.Now(), "cancel id=%d dev=%d", id, i)
+			return true
+		}
+	}
+	return false
+}
+
+// Close wakes every blocked WaitBatch with nil. Queued tasks are not
+// dropped — callers drain their solves before closing.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// QueueDepth returns device di's current queue length.
+func (s *Scheduler) QueueDepth(di int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.devs[di].queue)
+}
+
+// UsedTotal sums the fleet's outstanding ledger bytes.
+func (s *Scheduler) UsedTotal() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var u int64
+	for i := range s.devs {
+		u += s.devs[i].dev.Used()
+	}
+	return u
+}
+
+// Audit returns the reservation ledger totals: bytes reserved at
+// admission, bytes released at completion/cancellation, and the count of
+// double completions (always 0 under correct use). reserved == released
+// with every device's Used() at zero is the exactly-once-release
+// invariant the property suite pins.
+func (s *Scheduler) Audit() (reserved, released, doubleReleases int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reservedBytes, s.releasedBytes, s.doubleReleases
+}
+
+// Status snapshots every device for telemetry and the wire protocol.
+func (s *Scheduler) Status() []DeviceStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DeviceStatus, len(s.devs))
+	for i := range s.devs {
+		d := &s.devs[i]
+		out[i] = DeviceStatus{
+			Name: d.dev.Name, Box: d.box,
+			Capacity: d.dev.Capacity, Used: d.dev.Used(),
+			Queued: len(d.queue), Inflight: d.inflight,
+			Steals: d.steals, EWMA: time.Duration(d.ewmaNanos),
+		}
+	}
+	return out
+}

@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lowcomm3d/internal/gpu"
+)
+
+// SimConfig seeds one deterministic scheduler simulation: a random fleet
+// (capacities, boxes) and a random job stream (arrival times, sub-domain
+// sizes) are derived from Seed; the event loop is single-threaded and
+// driven by a SimClock, so the same seed always produces the same
+// decision sequence — and, with a Log attached, the same trace bytes.
+type SimConfig struct {
+	Seed    int64
+	Devices int // fleet size (≤0: 4)
+	Jobs    int // job stream length (≤0: 64)
+	Boxes   int // node boxes to spread devices across (≤0: 2)
+
+	N       int // grid edge (≤0: 1024)
+	FarRate int // ≤0: 16
+
+	QueueDepth int
+	MaxBatch   int
+	StealMin   int
+
+	Log *Log // optional decision trace
+
+	// Check, when non-nil, runs after every simulation step; a non-nil
+	// error aborts the run — how the property tests pin invariants at
+	// every reachable state instead of only at the end.
+	Check func(s *Scheduler) error
+}
+
+// SimReport summarizes one simulation run.
+type SimReport struct {
+	Placed    int // jobs admitted
+	Rejected  int // jobs rejected with ErrOverloaded
+	NoFit     int // jobs rejected with ErrNoFit (would spill in the engine)
+	Completed int // jobs completed
+
+	Steals     int64 // steal operations (from fleet.steals)
+	StolenJobs int64
+	BatchRuns  int64
+	BatchJobs  int64
+
+	Reserved, Released, DoubleReleases int64 // scheduler ledger audit
+
+	MaxUsed  []int64 // per-device observed peak ledger bytes
+	EndUsed  []int64 // per-device ledger bytes after the run (all zero)
+	Capacity []int64
+
+	Elapsed time.Duration // simulated time
+	Status  []DeviceStatus
+}
+
+// simKs are the sub-domain edges a simulated job stream draws from,
+// weighted toward small jobs; the largest entries exceed the biggest
+// simulated device so ErrNoFit paths are exercised too.
+var simKs = []int{32, 32, 32, 32, 64, 64, 64, 128, 128, 512}
+
+// RunSim drives a Scheduler through a seeded synthetic workload on a
+// simulated clock and returns the run's report. Everything — fleet
+// shape, arrivals, batch durations, steal decisions — is a deterministic
+// function of cfg.
+func RunSim(cfg SimConfig) (*SimReport, error) {
+	if cfg.Devices <= 0 {
+		cfg.Devices = 4
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 64
+	}
+	if cfg.Boxes <= 0 {
+		cfg.Boxes = 2
+	}
+	if cfg.N <= 0 {
+		cfg.N = 1024
+	}
+	if cfg.FarRate <= 0 {
+		cfg.FarRate = 16
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	devs := make([]*gpu.Device, cfg.Devices)
+	boxOf := make([]int, cfg.Devices)
+	for i := range devs {
+		// 2–8 GiB in 512 MiB steps: small enough that queue-depth × job
+		// footprint overcommits memory, so admission really binds.
+		capBytes := int64(4+rng.Intn(13)) * (gpu.GiB / 2)
+		devs[i] = &gpu.Device{Name: fmt.Sprintf("sim%d", i), Capacity: capBytes}
+		boxOf[i] = rng.Intn(cfg.Boxes)
+	}
+	clock := NewSimClock()
+	s, err := NewScheduler(Options{
+		Devices: devs, BoxOf: boxOf,
+		N: cfg.N, FarRate: cfg.FarRate,
+		QueueDepth: cfg.QueueDepth, MaxBatch: cfg.MaxBatch, StealMin: cfg.StealMin,
+		Clock: clock, Log: cfg.Log,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		at time.Duration
+		t  *Task
+	}
+	jobs := make([]job, cfg.Jobs)
+	at := time.Duration(0)
+	for i := range jobs {
+		at += time.Duration(rng.Intn(40)+1) * time.Millisecond
+		k := simKs[rng.Intn(len(simKs))]
+		jobs[i] = job{at: at, t: &Task{
+			Tenant:    fmt.Sprintf("t%d", rng.Intn(3)),
+			K:         k,
+			Footprint: gpu.JobFootprint(cfg.N, k, cfg.FarRate),
+			HomeBox:   rng.Intn(cfg.Boxes),
+		}}
+	}
+
+	rep := &SimReport{
+		MaxUsed:  make([]int64, cfg.Devices),
+		EndUsed:  make([]int64, cfg.Devices),
+		Capacity: make([]int64, cfg.Devices),
+	}
+	for i, d := range devs {
+		rep.Capacity[i] = d.Capacity
+	}
+
+	busy := make([][]*Task, cfg.Devices) // nil = idle
+	until := make([]time.Duration, cfg.Devices)
+	dur := make([]time.Duration, cfg.Devices)
+	bufs := make([][]*Task, cfg.Devices)
+	for i := range bufs {
+		bufs[i] = make([]*Task, 0, 8)
+	}
+	cost := s.cost
+	now := time.Duration(0)
+	next := 0 // next arrival index
+
+	sample := func() error {
+		for i, d := range devs {
+			u := d.Used()
+			if u > rep.MaxUsed[i] {
+				rep.MaxUsed[i] = u
+			}
+			if u > d.Capacity {
+				return fmt.Errorf("sim: device %d overcommitted: used %d > capacity %d", i, u, d.Capacity)
+			}
+		}
+		if cfg.Check != nil {
+			return cfg.Check(s)
+		}
+		return nil
+	}
+
+	for {
+		// Next event: the earliest pending arrival or batch completion.
+		event := time.Duration(-1)
+		if next < len(jobs) {
+			event = jobs[next].at
+		}
+		for i := range busy {
+			if busy[i] != nil && (event < 0 || until[i] < event) {
+				event = until[i]
+			}
+		}
+		if event < 0 {
+			break // no arrivals left, every device idle
+		}
+		if event > now {
+			clock.Advance(event - now)
+			now = event
+		}
+		// Completions first (device order), then arrivals, then dispatch —
+		// a fixed order, so the decision sequence is seed-deterministic.
+		for i := range busy {
+			if busy[i] != nil && until[i] <= now {
+				s.Complete(i, busy[i], dur[i])
+				rep.Completed += len(busy[i])
+				busy[i] = nil
+			}
+		}
+		for next < len(jobs) && jobs[next].at <= now {
+			t := jobs[next].t
+			next++
+			if _, err := s.Enqueue(t); err != nil {
+				switch {
+				case errors.Is(err, ErrNoFit):
+					rep.NoFit++
+				case errors.Is(err, ErrOverloaded):
+					rep.Rejected++
+				default:
+					return nil, err
+				}
+				continue
+			}
+			rep.Placed++
+		}
+		for i := range busy {
+			if busy[i] != nil {
+				continue
+			}
+			b := s.NextBatch(i, bufs[i])
+			if b == nil {
+				continue
+			}
+			sec, err := cost.BatchSeconds(cfg.N, b[0].K, cfg.FarRate, len(b))
+			if err != nil {
+				return nil, err
+			}
+			d := time.Duration(sec * float64(time.Second))
+			if d <= 0 {
+				d = time.Microsecond
+			}
+			busy[i], dur[i], until[i] = b, d, now+d
+		}
+		if err := sample(); err != nil {
+			return nil, err
+		}
+	}
+
+	rep.Steals = s.tr.CounterValue("fleet.steals")
+	rep.StolenJobs = s.tr.CounterValue("fleet.stolen_jobs")
+	rep.BatchRuns = s.tr.CounterValue("fleet.batch_runs")
+	rep.BatchJobs = s.tr.CounterValue("fleet.batch_jobs")
+	rep.Reserved, rep.Released, rep.DoubleReleases = s.Audit()
+	for i, d := range devs {
+		rep.EndUsed[i] = d.Used()
+	}
+	rep.Elapsed = now
+	rep.Status = s.Status()
+	s.Close()
+	return rep, nil
+}

@@ -1,0 +1,43 @@
+package gpu
+
+// Fleet-placement helpers: the pieces of the memory model a multi-device
+// scheduler needs to decide, per job, which device ledger can admit the
+// job's modeled footprint (internal/fleet) and what the serving engine
+// should charge at admission (internal/serve). Shared here so both layers
+// price a job identically — a job admitted by the scheduler is, by
+// construction, admissible on the device it was placed on.
+
+// JobFootprint models the device bytes one k³ sub-domain job of an N³
+// convolution holds at peak: the N×N×k complex slab, the kept inverse z
+// planes, and the Eq. 6 compressed samples — the same shape
+// internal/massif charges when admitting workers and internal/serve
+// charges per accepted job.
+func JobFootprint(n, k, far int) int64 {
+	if far <= 0 {
+		far = 16
+	}
+	kept := KeptZPlanes(n, k, far)
+	n64, k64, far64 := int64(n), int64(k), int64(far)
+	samples := k64*k64*k64 + (n64*n64*n64-k64*k64*k64)/(far64*far64*far64)
+	return 16*n64*n64*k64 + 16*n64*n64*int64(kept) + 8*samples
+}
+
+// Free returns the bytes currently unreserved on the device.
+func (d *Device) Free() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.Capacity - d.used
+}
+
+// MaxCapacity returns the largest capacity across the fleet (0 when the
+// fleet is empty) — the admissibility ceiling a fleet scheduler tests a
+// job against before deciding it must spill to the distributed path.
+func MaxCapacity(devs []*Device) int64 {
+	var max int64
+	for _, d := range devs {
+		if d != nil && d.Capacity > max {
+			max = d.Capacity
+		}
+	}
+	return max
+}

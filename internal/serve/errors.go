@@ -18,18 +18,23 @@ var ErrClosed = errors.New("serve: engine closed")
 // rejections, the device's error) so errors.Is works through it.
 type OverloadError struct {
 	Reason     string        // "queue full" or "device memory"
+	Device     string        // fleet engines: the device the hint refers to ("" single-queue)
 	QueueDepth int           // admitted-but-unstarted jobs at rejection time
-	RetryAfter time.Duration // hint: mean job latency × queue backlog per worker
+	RetryAfter time.Duration // hint: that device's smoothed job latency × its backlog
 	Cause      error         // non-nil for memory rejections (gpu.ErrOutOfMemory chain)
 }
 
 func (e *OverloadError) Error() string {
-	if e.Cause != nil {
-		return fmt.Sprintf("serve: overloaded (%s, depth %d, retry after %v): %v",
-			e.Reason, e.QueueDepth, e.RetryAfter, e.Cause)
+	dev := ""
+	if e.Device != "" {
+		dev = " on " + e.Device
 	}
-	return fmt.Sprintf("serve: overloaded (%s, depth %d, retry after %v)",
-		e.Reason, e.QueueDepth, e.RetryAfter)
+	if e.Cause != nil {
+		return fmt.Sprintf("serve: overloaded (%s%s, depth %d, retry after %v): %v",
+			e.Reason, dev, e.QueueDepth, e.RetryAfter, e.Cause)
+	}
+	return fmt.Sprintf("serve: overloaded (%s%s, depth %d, retry after %v)",
+		e.Reason, dev, e.QueueDepth, e.RetryAfter)
 }
 
 // Unwrap exposes both the ErrOverloaded sentinel and the underlying cause

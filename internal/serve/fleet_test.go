@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lowcomm3d/internal/gpu"
+	"lowcomm3d/internal/grid"
+)
+
+// TestOverloadRetryAfterPerDevice is the regression test for the
+// single-EWMA RetryAfter bug: before the fleet scheduler, the engine
+// kept ONE smoothed job duration across all devices, so a burst of fast
+// jobs on a small device dragged the hint down and a rejection from the
+// busy slow device advertised a wait far below reality. With per-device
+// EWMAs, a memory rejection's hint is priced from the EWMA of the device
+// that would admit the job.
+//
+// Scenario: device A only fits small (k=4) jobs; device B fits big (k=8)
+// jobs, which take ~60 ms. After one completed big job (B's EWMA ≈
+// 60 ms) and 16 sub-millisecond small jobs (which, pre-fix, decay the
+// blended EWMA to ≈ 60·(7/8)¹⁶ ≈ 7 ms), two big jobs occupy B and a
+// third is rejected. The fix requires the hint to reflect B's own EWMA
+// times its backlog (≈ 180 ms); the pre-fix blend yields ≈ 7–14 ms and
+// fails the 50 ms floor.
+func TestOverloadRetryAfterPerDevice(t *testing.T) {
+	const n = 16
+	dim := grid.Cube(n)
+	fpSmall := gpu.JobFootprint(n, 4, 16)
+	fpBig := gpu.JobFootprint(n, 8, 16)
+
+	devA := &gpu.Device{Name: "A-small", Capacity: fpSmall + fpSmall/2}
+	devB := &gpu.Device{Name: "B-big", Capacity: 2*fpBig + fpBig/2}
+	if fpBig <= devA.Capacity {
+		t.Fatalf("precondition: big footprint %d must exceed device A capacity %d", fpBig, devA.Capacity)
+	}
+
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	e := testEngine(t, Options{
+		Dim: dim, Workers: 4, QueueDepth: 16,
+		Devices: []*gpu.Device{devA, devB},
+		testHookRun: func(tenant string) {
+			switch tenant {
+			case "warm":
+				time.Sleep(60 * time.Millisecond) // one slow big job seeds B's EWMA
+			case "hold":
+				started <- struct{}{}
+				<-release // occupy B's memory while the victim submits
+			}
+		},
+	})
+	defer close(release)
+
+	bigBox := grid.CubeAt(grid.Point{0, 0, 0}, 8)
+	smallBox := grid.CubeAt(grid.Point{0, 0, 0}, 4)
+	bigIn, smallIn := testField(8, 1), testField(4, 2)
+
+	res, err := e.Submit(context.Background(), "warm", bigBox, bigIn)
+	if err != nil {
+		t.Fatalf("warm big job: %v", err)
+	}
+	res.Release()
+
+	// Fast small jobs land on A (it is the cheapest admissible device for
+	// them) and, pre-fix, would decay a blended EWMA toward microseconds.
+	for i := 0; i < 16; i++ {
+		res, err := e.Submit(context.Background(), "small", smallBox, smallIn)
+		if err != nil {
+			t.Fatalf("small job %d: %v", i, err)
+		}
+		res.Release()
+	}
+
+	for i := 0; i < 2; i++ {
+		go e.Submit(context.Background(), "hold", bigBox, bigIn)
+	}
+	<-started
+	<-started // B now holds two big reservations; a third cannot fit
+
+	_, err = e.Submit(context.Background(), "victim", bigBox, bigIn)
+	var oe *OverloadError
+	if !errors.As(err, &oe) || !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want *OverloadError", err)
+	}
+	if oe.Reason != "device memory" {
+		t.Fatalf("reason = %q, want device memory", oe.Reason)
+	}
+	if oe.Device != devB.Name {
+		t.Errorf("hint names device %q, want %q (the device closest to admitting)", oe.Device, devB.Name)
+	}
+	// B's own EWMA (≈60 ms) × its backlog (2 in flight + 1) ≈ 180 ms.
+	// The pre-fix blended hint is an order of magnitude below this floor.
+	if oe.RetryAfter < 50*time.Millisecond {
+		t.Errorf("RetryAfter = %v, want ≥ 50ms: hint priced from a fleet-wide EWMA blend, not device %s's own latency",
+			oe.RetryAfter, devB.Name)
+	}
+}
+
+// TestFleetStatusReportsDevices pins the FleetStatus surface consumed by
+// telemetry and the wire protocol: one row per configured device, with
+// names, capacities, and ledgers that return to zero after drain.
+func TestFleetStatusReportsDevices(t *testing.T) {
+	devs := []*gpu.Device{gpu.V100_16GB(), gpu.V100_32GB()}
+	e := testEngine(t, Options{
+		Dim: grid.Cube(16), Workers: 2,
+		Devices: devs, DeviceBox: []int{0, 1},
+	})
+	box := grid.CubeAt(grid.Point{0, 0, 0}, 4)
+	res, err := e.Submit(context.Background(), "a", box, testField(4, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Release()
+
+	st := e.FleetStatus()
+	if len(st) != 2 {
+		t.Fatalf("FleetStatus returned %d rows, want 2", len(st))
+	}
+	for i, ds := range st {
+		if ds.Name != devs[i].Name {
+			t.Errorf("row %d name = %q, want %q", i, ds.Name, devs[i].Name)
+		}
+		if ds.Capacity != devs[i].Capacity {
+			t.Errorf("row %d capacity = %d, want %d", i, ds.Capacity, devs[i].Capacity)
+		}
+		if ds.Box != i {
+			t.Errorf("row %d box = %d, want %d", i, ds.Box, i)
+		}
+		if ds.Used != 0 {
+			t.Errorf("row %d holds %d bytes after job release", i, ds.Used)
+		}
+	}
+	if st[0].EWMA <= 0 && st[1].EWMA <= 0 {
+		t.Errorf("no device EWMA recorded after a completed job: %+v", st)
+	}
+}
+
+// TestSingleDeviceOptionIsOneDeviceFleet pins back-compat: Options.Device
+// alone behaves as a one-entry Devices fleet (same admission, same
+// typed errors, FleetStatus reports it).
+func TestSingleDeviceOptionIsOneDeviceFleet(t *testing.T) {
+	tiny := &gpu.Device{Name: "tiny", Capacity: 1024}
+	e := testEngine(t, Options{Dim: grid.Cube(16), Workers: 1, Device: tiny})
+	_, err := e.Submit(context.Background(), "a", grid.CubeAt(grid.Point{0, 0, 0}, 4), testField(4, 1))
+	if !errors.Is(err, ErrOverloaded) || !errors.Is(err, gpu.ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOverloaded wrapping gpu.ErrOutOfMemory", err)
+	}
+	if st := e.FleetStatus(); len(st) != 1 || st[0].Name != "tiny" {
+		t.Fatalf("FleetStatus = %+v, want the single configured device", st)
+	}
+}

@@ -13,6 +13,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -21,6 +22,7 @@ import (
 
 	"lowcomm3d/internal/conv"
 	"lowcomm3d/internal/fft"
+	"lowcomm3d/internal/fleet"
 	"lowcomm3d/internal/gpu"
 	"lowcomm3d/internal/green"
 	"lowcomm3d/internal/grid"
@@ -45,8 +47,18 @@ type Options struct {
 
 	// Device, when non-nil, is the admission ledger: each accepted job
 	// reserves its modeled footprint (slab + kept planes + samples) for
-	// its lifetime, and jobs that would overflow are rejected.
+	// its lifetime, and jobs that would overflow are rejected. A single
+	// Device is shorthand for a one-entry Devices fleet.
 	Device *gpu.Device
+
+	// Devices, when non-empty, is the admission fleet: each accepted job
+	// is placed on the cheapest admissible device by the fleet scheduler
+	// (modeled footprint + α–β transfer + per-device backlog) and holds
+	// its reservation there for its lifetime. Takes precedence over
+	// Device. DeviceBox optionally assigns each device to a node box
+	// (fleet.Options.BoxOf); nil puts the whole fleet in one box.
+	Devices   []*gpu.Device
+	DeviceBox []int
 
 	// Trace receives the engine's counters, gauges, and histograms
 	// (serve.*); nil creates a private trace (see Engine.Trace).
@@ -62,6 +74,10 @@ type Options struct {
 	// starts; installing it via Options means it is in place before the
 	// workers spawn, with no write racing their reads.
 	testHook func(tenant string)
+
+	// testHookRun (tests only) runs inside the timed section of each
+	// job, so tests can inject per-tenant latency that feeds the EWMAs.
+	testHookRun func(tenant string)
 }
 
 // Result is one completed job. Output is borrowed from the engine's arena
@@ -92,6 +108,7 @@ type task struct {
 	box       grid.Box
 	input     *grid.Field
 	footprint int64
+	dev       int // fleet device holding the reservation (-1: none)
 	enq       time.Time
 	res       Result
 	err       error
@@ -113,7 +130,7 @@ type Engine struct {
 	far      int
 	kern     atomic.Pointer[kernelState] // current kernel pointwise + fingerprint
 	cfg      conv.Config                 // per-pipeline config (workers, pruned, optional trace)
-	dev      *gpu.Device
+	sched    *fleet.Scheduler            // nil when no devices are configured
 	tr       *obs.Trace
 	plans    *planCache
 	pipes    *pipeCache
@@ -143,8 +160,10 @@ type Engine struct {
 	hJob, hWait                       *obs.Histogram
 
 	// testHookStart, when set (tests only), runs on the worker goroutine
-	// as each job starts, before any pipeline work.
+	// as each job starts, before any pipeline work. testHookRun runs
+	// inside the timed section.
 	testHookStart func(tenant string)
+	testHookRun   func(tenant string)
 }
 
 // New builds and starts an engine; callers must Drain (or Close) it.
@@ -159,7 +178,6 @@ func New(opts Options) (*Engine, error) {
 	e := &Engine{
 		dim:      d,
 		far:      opts.FarRate,
-		dev:      opts.Device,
 		tr:       opts.Trace,
 		workers:  opts.Workers,
 		maxQueue: opts.QueueDepth,
@@ -176,6 +194,20 @@ func New(opts Options) (*Engine, error) {
 	}
 	if e.tr == nil {
 		e.tr = obs.New()
+	}
+	devices := opts.Devices
+	if len(devices) == 0 && opts.Device != nil {
+		devices = []*gpu.Device{opts.Device}
+	}
+	if len(devices) > 0 {
+		sched, err := fleet.NewScheduler(fleet.Options{
+			Devices: devices, BoxOf: opts.DeviceBox,
+			N: d.Nx, FarRate: e.far, Trace: e.tr,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.sched = sched
 	}
 	plans := opts.Plans
 	if plans <= 0 {
@@ -200,7 +232,7 @@ func New(opts Options) (*Engine, error) {
 		fp: green.Fingerprint(d, opts.Kernel),
 	})
 	e.cond = sync.NewCond(&e.mu)
-	e.taskPool.New = func() any { return &task{done: make(chan struct{}, 1)} }
+	e.taskPool.New = func() any { return &task{done: make(chan struct{}, 1), dev: -1} }
 
 	e.cSubmitted = e.tr.Counter("serve.jobs_submitted")
 	e.cCompleted = e.tr.Counter("serve.jobs_completed")
@@ -217,6 +249,7 @@ func New(opts Options) (*Engine, error) {
 	e.hWait = e.tr.Histogram("serve.queue_wait_seconds")
 
 	e.testHookStart = opts.testHook
+	e.testHookRun = opts.testHookRun
 	for i := 0; i < e.workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -235,15 +268,11 @@ func (e *Engine) QueueDepth() int {
 	return e.queued
 }
 
-// jobFootprint models the device bytes one k³ job holds at peak: the
-// N×N×k complex slab, the kept inverse z planes, and the Eq. 6 compressed
-// samples — the same shape internal/massif charges when admitting workers.
+// jobFootprint models the device bytes one k³ job holds at peak — the
+// shared gpu.JobFootprint model, so serve admission, fleet placement,
+// and massif worker admission all price a job identically.
 func (e *Engine) jobFootprint(k int) int64 {
-	n := e.dim.Nx
-	kept := gpu.KeptZPlanes(n, k, e.far)
-	n64, k64, far := int64(n), int64(k), int64(e.far)
-	samples := k64*k64*k64 + (n64*n64*n64-k64*k64*k64)/(far*far*far)
-	return 16*n64*n64*k64 + 16*n64*n64*int64(kept) + 8*samples
+	return gpu.JobFootprint(e.dim.Nx, k, e.far)
 }
 
 // Submit runs one job — the input field over sub-domain box for the named
@@ -290,23 +319,35 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 	depth := e.queued
 	e.mu.Unlock()
 
-	if e.dev != nil {
-		if err := e.dev.Reserve(fp); err != nil {
+	dev := -1
+	if e.sched != nil {
+		di, err := e.sched.Place(s[0], fp, 0)
+		if err != nil {
 			e.mu.Lock()
 			e.queued--
 			e.mu.Unlock()
 			e.cRejected.Add(1)
 			e.cRejMem.Add(1)
-			return Result{}, &OverloadError{
+			oe := &OverloadError{
 				Reason: "device memory", QueueDepth: depth - 1,
 				RetryAfter: e.retryAfter(depth - 1), Cause: err,
 			}
+			// The fleet's rejection carries the per-device hint: the
+			// wait of the device closest to admitting this job, priced
+			// from that device's own EWMA — not a fleet-wide blend.
+			var fe *fleet.OverloadError
+			if errors.As(err, &fe) {
+				oe.Device, oe.RetryAfter, oe.Cause = fe.Name, fe.RetryAfter, fe.Cause
+			}
+			return Result{}, oe
 		}
+		dev = di
 	}
 	e.gQueue.Max(int64(depth))
 
 	t := e.taskPool.Get().(*task)
 	t.box, t.input, t.footprint, t.enq = box, input, fp, time.Now()
+	t.dev = dev
 	t.ctx = ctx
 
 	e.mu.Lock()
@@ -315,9 +356,7 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 		// job no worker will ever dequeue.
 		e.queued--
 		e.mu.Unlock()
-		if e.dev != nil {
-			e.dev.Release(fp)
-		}
+		e.releaseDev(t)
 		e.recycle(t)
 		return Result{}, ErrClosed
 	}
@@ -345,9 +384,7 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 			if e.removeQueued(t) {
 				// Still queued: never ran. Give back the slot, the ledger
 				// reservation, and the task, and wake any blocked tenant.
-				if e.dev != nil {
-					e.dev.Release(fp)
-				}
+				e.releaseDev(t)
 				e.cCancelled.Add(1)
 				e.recycle(t)
 				return Result{}, ctx.Err()
@@ -402,7 +439,27 @@ func (e *Engine) removeQueued(t *task) bool {
 func (e *Engine) recycle(t *task) {
 	t.next, t.tq, t.input, t.ctx = nil, nil, nil, nil
 	t.res, t.err = Result{}, nil
+	t.dev = -1
 	e.taskPool.Put(t)
+}
+
+// releaseDev returns a task's fleet reservation, exactly once per
+// admitted task (Place in Submit, release here on the completion,
+// cancellation, and drain-race paths).
+func (e *Engine) releaseDev(t *task) {
+	if e.sched != nil && t.dev >= 0 {
+		e.sched.Release(t.dev, t.footprint)
+		t.dev = -1
+	}
+}
+
+// FleetStatus snapshots the admission fleet's devices (nil when the
+// engine was built without devices).
+func (e *Engine) FleetStatus() []fleet.DeviceStatus {
+	if e.sched == nil {
+		return nil
+	}
+	return e.sched.Status()
 }
 
 // retryAfter estimates how long an overloaded caller should wait: the
@@ -483,9 +540,7 @@ func (e *Engine) runJob(t *task) {
 	if err := t.ctx.Err(); err != nil {
 		t.err = err
 		e.cCancelled.Add(1)
-		if e.dev != nil {
-			e.dev.Release(t.footprint)
-		}
+		e.releaseDev(t)
 		t.done <- struct{}{}
 		return
 	}
@@ -495,12 +550,20 @@ func (e *Engine) runJob(t *task) {
 		h(t.tq.name)
 	}
 	start := time.Now()
-	e.execute(t)
-	e.observeDuration(time.Since(start))
-	e.busy.Add(-1)
-	if e.dev != nil {
-		e.dev.Release(t.footprint)
+	if h := e.testHookRun; h != nil {
+		h(t.tq.name)
 	}
+	e.execute(t)
+	d := time.Since(start)
+	e.observeDuration(d)
+	if e.sched != nil && t.dev >= 0 {
+		// Per-device EWMA: the duration feeds the device that ran the
+		// job, so RetryAfter hints reflect that device's latency rather
+		// than a fleet-wide blend.
+		e.sched.Observe(t.dev, d)
+	}
+	e.busy.Add(-1)
+	e.releaseDev(t)
 	if t.err == nil {
 		e.cCompleted.Add(1)
 	}

@@ -114,8 +114,10 @@ func TestWarmSubmitZeroAllocs(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("warm Submit allocates %v objects per job, want 0", allocs)
 	}
-	if dev := e.dev.Used(); dev != 0 {
-		t.Errorf("device ledger holds %d bytes after all jobs released", dev)
+	for _, ds := range e.FleetStatus() {
+		if ds.Used != 0 {
+			t.Errorf("device %s ledger holds %d bytes after all jobs released", ds.Name, ds.Used)
+		}
 	}
 }
 

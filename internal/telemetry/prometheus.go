@@ -69,6 +69,16 @@ var helpText = map[string]string{
 	"ckpt.max_file_bytes":            "Largest single checkpoint file written.",
 	"serve.jobs_cancelled":           "Queued jobs freed because their context ended before a worker picked them up.",
 	"serve.kernel_updates":           "Live kernel swaps (UpdateKernel); each bumps the fingerprint that keys the plan cache.",
+	"fleet.jobs_placed":              "Jobs admitted by the fleet scheduler onto some device's ledger (cheapest admissible placement under the Eq. 2 alpha-beta cost).",
+	"fleet.jobs_rejected":            "Jobs refused by the fleet scheduler (every admissible device's bounded queue full, or no device fits the modeled footprint).",
+	"fleet.jobs_completed":           "Fleet jobs that ran to completion and released their reservation exactly once.",
+	"fleet.jobs_cancelled":           "Fleet jobs removed from a device queue before dispatch.",
+	"fleet.steals":                   "Work-stealing events: an idle device taking queued jobs from its most-backlogged sibling.",
+	"fleet.stolen_jobs":              "Jobs migrated between device ledgers by work stealing.",
+	"fleet.batch_runs":               "Batched dispatches of same-k jobs sharing one plan set (section 5.1's fleet batching, amortizing stages A/C).",
+	"fleet.batch_jobs":               "Jobs dispatched inside batched runs; batch_jobs/batch_runs is the realized batching factor.",
+	"fleet.queue_depth":              "High-water jobs queued across the whole fleet.",
+	"fleet.inflight":                 "High-water jobs executing simultaneously across the fleet.",
 	"wire.sessions_opened":           "Wire sessions opened by a client Hello without a resumable token.",
 	"wire.sessions_resumed":          "Reconnects that re-attached to a live session by token (streaming resumes from the last ack).",
 	"wire.sessions_expired":          "Detached sessions reaped after SessionTTL with their undelivered results.",

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"lowcomm3d/internal/fleet"
 	"lowcomm3d/internal/grid"
 	"lowcomm3d/internal/obs"
 	"lowcomm3d/internal/sample"
@@ -462,6 +463,77 @@ func (c *Client) readResult(ctx context.Context, conn net.Conn, jobID uint64, as
 			}
 		default:
 			return nil, nil, fmt.Errorf("%w: unexpected %v frame", ErrFrameCorrupt, t)
+		}
+	}
+}
+
+// FleetStatus asks the server for its engine's per-device fleet status:
+// one row per admission device (empty when the server runs without a
+// configured fleet). It shares Submit's session and serializes with it;
+// a dead connection is redialed once before the transport error
+// surfaces.
+func (c *Client) FleetStatus(ctx context.Context) ([]fleet.DeviceStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	stop := context.AfterFunc(ctx, c.interrupt)
+	defer stop()
+
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		c.cmu.Lock()
+		conn := c.conn
+		c.cmu.Unlock()
+		if conn == nil {
+			var err error
+			if conn, _, err = c.connect(ctx); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+			}
+		}
+		rows, err := c.queryFleet(ctx, conn)
+		if err == nil {
+			return rows, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		c.closeConn()
+		if attempt > 0 {
+			return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+		}
+	}
+}
+
+// queryFleet sends one fleet query on conn and reads frames until the
+// answer (tolerating keepalives and stale job frames from an abandoned
+// Submit).
+func (c *Client) queryFleet(ctx context.Context, conn net.Conn) ([]fleet.DeviceStatus, error) {
+	if err := c.write(conn, FrameFleetQuery, nil); err != nil {
+		return nil, err
+	}
+	for {
+		conn.SetReadDeadline(readDeadline(ctx, c.opt.IdleTimeout))
+		t, p, err := ReadFrame(conn)
+		if err != nil {
+			return nil, err
+		}
+		switch t {
+		case FrameFleetStatus:
+			m, err := decodeFleetStatus(p)
+			if err != nil {
+				return nil, err
+			}
+			return m.Rows, nil
+		case FramePing:
+			if err := c.write(conn, FramePong, nil); err != nil {
+				return nil, err
+			}
+		case FramePong, FrameChunk, FrameDone, FrameStatus:
+			// Keepalives and stale frames from abandoned jobs.
+		default:
+			return nil, fmt.Errorf("%w: unexpected %v frame", ErrFrameCorrupt, t)
 		}
 	}
 }

@@ -56,8 +56,14 @@ const (
 	// FrameResume re-requests streaming of a job after a reconnect,
 	// carrying the client's assembled offset.
 	FrameResume
+	// FrameFleetQuery asks for the engine's per-device fleet status
+	// (client → server); the payload is empty.
+	FrameFleetQuery
+	// FrameFleetStatus answers a fleet query (server → client) with one
+	// row per device: name, box, ledger, queue depth, and EWMA latency.
+	FrameFleetStatus
 
-	frameTypeMax = FrameResume
+	frameTypeMax = FrameFleetStatus
 )
 
 func (t FrameType) String() string {
@@ -84,6 +90,10 @@ func (t FrameType) String() string {
 		return "cancel"
 	case FrameResume:
 		return "resume"
+	case FrameFleetQuery:
+		return "fleet-query"
+	case FrameFleetStatus:
+		return "fleet-status"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}

@@ -299,6 +299,10 @@ func (s *Server) serveConn(c net.Conn) {
 			if m, err := decodeCancel(p); err == nil {
 				s.handleCancel(sess, m)
 			}
+		case FrameFleetQuery:
+			if cs.write(FrameFleetStatus, fleetStatusMsg{Rows: s.eng.FleetStatus()}.encode()) != nil {
+				return
+			}
 		default:
 			cs.write(FrameStatus, statusMsg{Code: StatusBadRequest,
 				Msg: fmt.Sprintf("unexpected %v frame", t)}.encode())
