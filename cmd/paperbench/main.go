@@ -59,6 +59,7 @@ func main() {
 		sLoad   = flag.Bool("serve-load", false, "seeded open-loop load against the steady-state serving engine (§3.1)")
 		wLoad   = flag.Bool("wire-load", false, "wire-protocol front door over loopback TCP under seeded connection faults")
 		fLoad   = flag.Bool("fleet-load", false, "fleet scheduler under seeded simulated load across fleet shapes")
+		fChaos  = flag.Bool("fleet-chaos", false, "fleet fault tolerance under seeded device faults: crash/hang/transient/slowdown with exactly-once recovery")
 		all     = flag.Bool("all", false, "run everything")
 		traceTo = flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto JSON) of the run to this file")
 		serve   = flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /flight, /debug/pprof) on this address, e.g. :8080, and block after the run")
@@ -124,6 +125,7 @@ func main() {
 	run(*sLoad, serveLoadStudy)
 	run(*wLoad, wireLoadStudy)
 	run(*fLoad, fleetLoadStudy)
+	run(*fChaos, fleetChaosStudy)
 	if !ran && *serve == "" {
 		flag.Usage()
 		os.Exit(2)

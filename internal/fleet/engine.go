@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -37,6 +38,16 @@ type EngineOptions struct {
 	// value: DefaultIB).
 	SpillWorkers int
 	SpillParams  cluster.Params
+
+	// Faults injects seeded deterministic device faults into every batch
+	// (crash, hang, transient, slowdown at dispatch / mid-batch /
+	// completion). Setting it starts the health monitor — hangs are only
+	// recoverable with the monitor watching batch deadlines.
+	Faults *FaultSchedule
+
+	// HealthEvery is the health monitor cadence (≤0: 2ms). The monitor
+	// runs when Faults is set or HealthEvery is explicitly positive.
+	HealthEvery time.Duration
 }
 
 // SolveStats summarizes one solve.
@@ -69,6 +80,7 @@ type Engine struct {
 	closed bool
 
 	runners sync.WaitGroup
+	stopMon chan struct{} // nil when the health monitor is not running
 }
 
 // NewEngine builds the engine and starts one runner per device.
@@ -92,7 +104,40 @@ func NewEngine(opts EngineOptions) (*Engine, error) {
 		e.runners.Add(1)
 		go e.runDevice(di)
 	}
+	if opts.Faults != nil || opts.HealthEvery > 0 {
+		every := opts.HealthEvery
+		if every <= 0 {
+			every = 2 * time.Millisecond
+		}
+		e.stopMon = make(chan struct{})
+		e.runners.Add(1)
+		go e.monitor(every)
+	}
 	return e, nil
+}
+
+// monitor drives the scheduler's health state machine: periodic
+// CheckHealth ticks mark stragglers suspect/dead, and due quarantine
+// probes run against the device ledger (and the fault schedule's seeded
+// probe outcomes) to earn readmission.
+func (e *Engine) monitor(every time.Duration) {
+	defer e.runners.Done()
+	probes := make([]int, e.sched.Devices())
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stopMon:
+			return
+		case <-tick.C:
+			for _, di := range e.sched.CheckHealth(e.sched.Now()) {
+				ok := e.opts.Faults.ProbeOK(di, probes[di]) &&
+					e.opts.Fleet.Devices[di].Probe() == nil
+				probes[di]++
+				e.sched.Probe(di, ok)
+			}
+		}
+	}
 }
 
 // Scheduler exposes the underlying scheduler (status, audit, metrics).
@@ -101,12 +146,21 @@ func (e *Engine) Scheduler() *Scheduler { return e.sched }
 // Status snapshots the fleet.
 func (e *Engine) Status() []DeviceStatus { return e.sched.Status() }
 
-// Close stops the runners after the queues drain. In-flight Solve calls
-// must complete first; Solve after Close returns ErrClosed.
+// Close stops the health monitor and the runners. Idempotent — a second
+// Close returns immediately. In-flight solves are drained by the
+// scheduler: their tasks resolve with ErrClosed and every waiter
+// unblocks; Solve after Close returns ErrClosed.
 func (e *Engine) Close() {
 	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
 	e.closed = true
 	e.mu.Unlock()
+	if e.stopMon != nil {
+		close(e.stopMon)
+	}
 	e.sched.Close()
 	e.runners.Wait()
 }
@@ -127,34 +181,74 @@ func (e *Engine) planSet(k int) (*conv.PlanSet, error) {
 
 // runDevice is the per-device runner: block for a batch (stealing when
 // idle), execute it through the shared plan set, release and report.
+// Each dispatch gets a sequence number so injected faults are a pure
+// function of (seed, device, dispatch, point).
 func (e *Engine) runDevice(di int) {
 	defer e.runners.Done()
 	buf := make([]*Task, 0, e.sched.maxBatch)
+	var seq uint64
 	for {
 		batch := e.sched.WaitBatch(di, buf)
 		if batch == nil {
 			return
 		}
-		e.runBatch(di, batch)
+		e.runBatch(di, batch, seq)
+		seq++
 	}
 }
 
-func (e *Engine) runBatch(di int, batch []*Task) {
+// runBatch executes one batch, consulting the fault schedule at the
+// three injection points. A runner only ever writes Result/Err on the
+// attempt objects it owns; delivery to the solve happens inside
+// Complete, under the scheduler mutex, first-result-wins.
+func (e *Engine) runBatch(di int, batch []*Task, seq uint64) {
 	t0 := time.Now()
+	f := e.opts.Faults
+	if e.injectFault(di, batch, f.At(di, seq, PointDispatch), t0) {
+		return
+	}
 	ps, psErr := e.planSet(batch[0].K)
-	for _, t := range batch {
+	for i, t := range batch {
+		if i > 0 && i == len(batch)/2 {
+			if e.injectFault(di, batch, f.At(di, seq, PointMidBatch), t0) {
+				return
+			}
+		}
 		if psErr != nil {
 			t.Err = psErr
 			continue
 		}
 		t.Result, t.Err = e.runTask(ps, t)
 	}
-	e.sched.Complete(di, batch, time.Since(t0))
-	for _, t := range batch {
-		if t.wg != nil {
-			t.wg.Done()
-		}
+	if e.injectFault(di, batch, f.At(di, seq, PointCompletion), t0) {
+		return
 	}
+	e.sched.Complete(di, batch, time.Since(t0))
+}
+
+// injectFault applies one injected fault and reports whether the batch
+// was consumed by it (true: the runner must not Complete it). A crash
+// quarantines the device — recovery reclaims and requeues the batch. A
+// hang wedges the runner on the device's reset channel until the health
+// monitor declares the device dead (or the scheduler closes); the work
+// was already reclaimed by then, so the runner just moves on. A
+// transient error fails the batch retryably; a slowdown injects latency
+// and lets the batch proceed — the straggler case hedged runs cover.
+func (e *Engine) injectFault(di int, batch []*Task, kind FaultKind, t0 time.Time) bool {
+	switch kind {
+	case FaultCrash:
+		e.sched.ReportDeviceFailure(di, fmt.Errorf("fleet: injected crash on device %d", di))
+		return true
+	case FaultHang:
+		<-e.sched.ResetChan(di)
+		return true
+	case FaultTransient:
+		e.sched.FailBatch(di, batch, errTransient, time.Since(t0))
+		return true
+	case FaultSlow:
+		time.Sleep(e.opts.Faults.slowDelay())
+	}
+	return false
 }
 
 func (e *Engine) runTask(ps *conv.PlanSet, t *Task) (*sample.Compressed, error) {
@@ -239,36 +333,52 @@ func (e *Engine) Solve(tenant string, f *grid.Field) (*grid.Field, SolveStats, e
 	}
 
 	fp := e.sched.Footprint(k)
-	results := make([]*sample.Compressed, len(jobs))
+	sink := newResultSink(len(jobs))
 	tasks := make([]Task, len(jobs))
 	var wg sync.WaitGroup
 	wg.Add(len(jobs))
-	enqueued := 0
-	var enqErr error
 	for i, b := range jobs {
 		t := &tasks[i]
-		*t = Task{Tenant: tenant, K: k, Footprint: fp, Box: b, Input: f, Slot: i, wg: &wg}
-		if _, err := e.sched.EnqueueBlocking(t); err != nil {
-			enqErr = err
-			break
+		*t = Task{Tenant: tenant, K: k, Footprint: fp, Box: b, Input: f, Slot: i, wg: &wg, sink: sink}
+		if _, err := e.sched.EnqueueBlocking(context.Background(), t); err != nil {
+			// Record the rejection in this slot and release its latch; the
+			// remaining jobs still try — the fleet may recover, or the
+			// whole solve falls back to the spill path below.
+			sink.errs[i] = err
+			wg.Done()
 		}
-		enqueued++
-	}
-	for i := enqueued; i < len(jobs); i++ {
-		wg.Done()
 	}
 	wg.Wait()
-	if enqErr != nil {
-		return nil, st, enqErr
-	}
-	devs := map[int]bool{}
-	for i := range tasks {
-		t := &tasks[i]
-		if t.Err != nil {
-			return nil, st, fmt.Errorf("fleet: job %d (%v): %w", i, t.Box, t.Err)
+	// Harvest from the sink, never from Task fields: a wedged runner that
+	// resumes late may still write its own attempt object, but only the
+	// winning attempt's values were copied here, under the scheduler
+	// mutex, before the latch fired.
+	var firstErr error
+	spillable := true
+	for i := range jobs {
+		if err := sink.errs[i]; err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("fleet: job %d (%v): %w", i, jobs[i], err)
+			}
+			if !errors.Is(err, ErrFleetDead) && !errors.Is(err, ErrNoFit) && !errors.Is(err, ErrRetriesExhausted) {
+				spillable = false
+			}
 		}
-		results[i] = t.Result
-		devs[t.Device()] = true
+	}
+	if firstErr != nil {
+		if spillable {
+			// Every failure is a capacity loss the distributed path can
+			// absorb: recompute the whole solve there. Canonical-order
+			// assembly keeps the output byte-identical to a healthy fleet.
+			return e.runSpill(f, jobs, k, &st)
+		}
+		return nil, st, firstErr
+	}
+	results := make([]*sample.Compressed, len(jobs))
+	devs := map[int]bool{}
+	for i := range jobs {
+		results[i] = sink.res[i]
+		devs[sink.devs[i]] = true
 	}
 	st.Devices = len(devs)
 	out, err := conv.Accumulate(e.dim, results)

@@ -1,0 +1,79 @@
+package fleet
+
+import "testing"
+
+// TestFaultScheduleDeterministic pins the injection contract: the fault
+// drawn is a pure function of (Seed, device, dispatch, point), so any
+// replay — regardless of goroutine scheduling — sees the same faults.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	f := &FaultSchedule{Seed: 42, CrashProb: 0.05, HangProb: 0.05, TransientProb: 0.1, SlowProb: 0.1}
+	g := &FaultSchedule{Seed: 42, CrashProb: 0.05, HangProb: 0.05, TransientProb: 0.1, SlowProb: 0.1}
+	for dev := 0; dev < 4; dev++ {
+		for disp := uint64(0); disp < 200; disp++ {
+			for _, pt := range []FaultPoint{PointDispatch, PointMidBatch, PointCompletion} {
+				if a, b := f.At(dev, disp, pt), g.At(dev, disp, pt); a != b {
+					t.Fatalf("replay diverged at dev=%d disp=%d pt=%v: %v vs %v", dev, disp, pt, a, b)
+				}
+			}
+		}
+		for p := 0; p < 50; p++ {
+			if f.ProbeOK(dev, p) != g.ProbeOK(dev, p) {
+				t.Fatalf("probe replay diverged at dev=%d probe=%d", dev, p)
+			}
+		}
+	}
+}
+
+// TestFaultScheduleCoverage checks every fault kind and every injection
+// point actually fires under moderate probabilities — the matrix tests
+// are vacuous if a kind is unreachable.
+func TestFaultScheduleCoverage(t *testing.T) {
+	f := &FaultSchedule{Seed: 7, CrashProb: 0.1, HangProb: 0.1, TransientProb: 0.1, SlowProb: 0.1}
+	seen := map[FaultKind]int{}
+	byPoint := map[FaultPoint]int{}
+	for dev := 0; dev < 4; dev++ {
+		for disp := uint64(0); disp < 500; disp++ {
+			for _, pt := range []FaultPoint{PointDispatch, PointMidBatch, PointCompletion} {
+				k := f.At(dev, disp, pt)
+				seen[k]++
+				if k != FaultNone {
+					byPoint[pt]++
+				}
+			}
+		}
+	}
+	for _, k := range []FaultKind{FaultNone, FaultCrash, FaultHang, FaultTransient, FaultSlow} {
+		if seen[k] == 0 {
+			t.Errorf("fault kind %v never drawn", k)
+		}
+	}
+	for _, pt := range []FaultPoint{PointDispatch, PointMidBatch, PointCompletion} {
+		if byPoint[pt] == 0 {
+			t.Errorf("injection point %v never fired", pt)
+		}
+	}
+	// 40% total fault rate: expect roughly 2400/6000 faults; bound loosely.
+	faults := 6000 - seen[FaultNone]
+	if faults < 1500 || faults > 3500 {
+		t.Errorf("fault rate wildly off: %d of 6000 rolls", faults)
+	}
+}
+
+// TestFaultScheduleNilSafe pins the zero-config contract: a nil schedule
+// injects nothing and always passes probes, so fault handling can be
+// written unconditionally.
+func TestFaultScheduleNilSafe(t *testing.T) {
+	var f *FaultSchedule
+	if k := f.At(0, 0, PointDispatch); k != FaultNone {
+		t.Errorf("nil schedule injected %v", k)
+	}
+	if !f.ProbeOK(0, 0) {
+		t.Errorf("nil schedule failed a probe")
+	}
+	if f.slowFactor() <= 1 {
+		t.Errorf("nil slowFactor %v", f.slowFactor())
+	}
+	if f.slowDelay() <= 0 {
+		t.Errorf("nil slowDelay %v", f.slowDelay())
+	}
+}

@@ -136,6 +136,13 @@ type Options struct {
 	// (DefaultCostModel).
 	Cost CostModel
 
+	// Health tunes the device health monitor (suspect/dead deadlines,
+	// probation probes, retry bounds). Zero value gets defaults; the
+	// monitor only acts when a driver calls CheckHealth, so schedulers
+	// whose drivers never do (serve's queue-less admission) keep every
+	// device Healthy.
+	Health HealthOptions
+
 	// Clock defaults to WallClock. Log, when non-nil, receives the
 	// byte-stable decision trace. Trace, when non-nil, receives fleet.*
 	// counters and gauges.
@@ -155,6 +162,8 @@ type DeviceStatus struct {
 	Inflight int
 	Steals   int64         // batches this device stole from siblings
 	EWMA     time.Duration // smoothed job duration on this device
+	Health   Health        // supervision state (Healthy/Suspect/Dead/Probation)
+	Requeued int64         // jobs reclaimed from this device by fault recovery
 }
 
 // Task is one schedulable sub-domain job. The scheduling fields (ID,
@@ -172,14 +181,58 @@ type Task struct {
 	Input *grid.Field // full field the runner extracts Box from
 	Slot  int         // result index within the owning solve
 
-	// Result and Err are written by the runner that executes the task,
-	// after which the owning solve is signaled.
+	// Result and Err are written by the runner that executes the task.
+	// Exactly one goroutine — the runner owning this attempt — writes
+	// them; the scheduler copies the winning attempt's values into the
+	// owning solve's sink under its mutex (deliverLocked), so solves read
+	// the sink, never these fields.
 	Result *sample.Compressed
 	Err    error
 
-	dev  int // device currently holding the reservation
+	dev  int // device currently holding the reservation (-1: orphaned)
 	done bool
 	wg   *sync.WaitGroup // owning solve's completion latch
+
+	// Fault-recovery identity: a requeued or hedged re-execution is a
+	// fresh Task (clone) pointing at the root attempt through origin;
+	// delivery dedupes through the root so first-result-wins.
+	attempt   int
+	origin    *Task       // nil on the root attempt
+	hedge     *Task       // root only: outstanding hedged clone, if any
+	sink      *resultSink // root only: owning solve's result slots
+	reclaimed bool        // resolved by recovery, not its runner
+	delivered bool        // root only: a result or error already landed
+}
+
+// root returns the task whose Slot this attempt resolves: itself for a
+// first attempt, the original task for a requeued/hedged clone.
+func (t *Task) root() *Task {
+	if t.origin != nil {
+		return t.origin
+	}
+	return t
+}
+
+// resultSink is one solve's result table. Slots are written only under
+// the scheduler mutex (deliverLocked) and read by the solve goroutine
+// after its completion latch fires — the mutex orders the handoff, so
+// hedged and late attempts can never race the reader.
+type resultSink struct {
+	res  []*sample.Compressed
+	errs []error
+	devs []int // winning device per slot (-1: failed/spilled)
+}
+
+func newResultSink(n int) *resultSink {
+	s := &resultSink{
+		res:  make([]*sample.Compressed, n),
+		errs: make([]error, n),
+		devs: make([]int, n),
+	}
+	for i := range s.devs {
+		s.devs[i] = -1
+	}
+	return s
 }
 
 // Device returns the device the task is placed on (valid after Enqueue).

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -21,6 +22,18 @@ type devState struct {
 	ewmaNanos int64
 	steals    int64
 	gQueue    *obs.Gauge
+
+	// Health supervision (see health.go). running mirrors the dispatched
+	// tasks so death recovery can reclaim the in-flight batch; reset is
+	// closed when the device dies, freeing a wedged runner.
+	health    Health
+	suspectAt time.Time
+	deadAt    time.Time
+	nextProbe time.Time
+	probeOKs  int
+	requeued  int64
+	running   []*Task
+	reset     chan struct{}
 }
 
 // Scheduler is the fleet placement core: a deterministic state machine
@@ -43,6 +56,9 @@ type Scheduler struct {
 	closed     bool
 	nextID     uint64
 
+	health  HealthOptions
+	orphans []*Task // tasks reclaimed from dead devices awaiting re-placement
+
 	// Ledger audit (exactly-once release): admission adds to reserved,
 	// completion/cancellation to released; reservation migration during a
 	// steal is neutral. doubleReleases counts Complete calls on a task
@@ -55,6 +71,10 @@ type Scheduler struct {
 	cSteals, cStolenJobs                       *obs.Counter
 	cBatchRuns, cBatchJobs                     *obs.Counter
 	gQueueAll, gInflight                       *obs.Gauge
+
+	cSuspect, cDead, cProbes, cReadmit *obs.Counter
+	cRequeued, cHedged, cFailed        *obs.Counter
+	cLate, cTransient                  *obs.Counter
 }
 
 // NewScheduler validates the fleet and builds the scheduler.
@@ -81,6 +101,7 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 		clock:      opts.Clock,
 		log:        opts.Log,
 		tr:         opts.Trace,
+		health:     opts.Health.withDefaults(),
 	}
 	if s.far <= 0 {
 		s.far = 16
@@ -113,6 +134,7 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 		s.devs[i] = devState{
 			dev: d, box: box,
 			gQueue: s.tr.Gauge(fmt.Sprintf("fleet.dev%d.queue_depth", i)),
+			reset:  make(chan struct{}),
 		}
 	}
 	s.cPlaced = s.tr.Counter("fleet.jobs_placed")
@@ -125,6 +147,15 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 	s.cBatchJobs = s.tr.Counter("fleet.batch_jobs")
 	s.gQueueAll = s.tr.Gauge("fleet.queue_depth")
 	s.gInflight = s.tr.Gauge("fleet.inflight")
+	s.cSuspect = s.tr.Counter("fleet.health_suspect")
+	s.cDead = s.tr.Counter("fleet.health_dead")
+	s.cProbes = s.tr.Counter("fleet.health_probes")
+	s.cReadmit = s.tr.Counter("fleet.health_readmitted")
+	s.cRequeued = s.tr.Counter("fleet.requeued_jobs")
+	s.cHedged = s.tr.Counter("fleet.hedged_runs")
+	s.cFailed = s.tr.Counter("fleet.failed_jobs")
+	s.cLate = s.tr.Counter("fleet.late_results")
+	s.cTransient = s.tr.Counter("fleet.transient_retries")
 	return s, nil
 }
 
@@ -166,10 +197,19 @@ func (s *Scheduler) bestLocked(k int, footprint int64, homeBox int, forQueue boo
 // overloadLocked builds the typed rejection for a job no device can admit
 // right now: the hint names the capacity-fitting device with the
 // shortest modeled wait (its own EWMA × its own backlog — per-device
-// hints, the PR 7 fix for the single-queue EWMA lie).
+// hints, the PR 7 fix for the single-queue EWMA lie). Only live devices
+// are priced: a dead device's capacity and backlog must not shape
+// RetryAfter, and when no live device can ever fit the footprint the
+// rejection is the typed ErrNoFit (or ErrFleetDead with nothing live).
 func (s *Scheduler) overloadLocked(footprint int64, memoryReason bool) error {
+	if s.liveLocked() == 0 {
+		return s.fleetDeadLocked()
+	}
 	best, bestWait := -1, time.Duration(0)
 	for i := range s.devs {
+		if s.devs[i].health != Healthy && s.devs[i].health != Suspect {
+			continue
+		}
 		if footprint > s.devs[i].dev.Capacity {
 			continue
 		}
@@ -179,7 +219,7 @@ func (s *Scheduler) overloadLocked(footprint int64, memoryReason bool) error {
 		}
 	}
 	if best < 0 {
-		return fmt.Errorf("%w: footprint %d exceeds every capacity (max %d): %w",
+		return fmt.Errorf("%w: footprint %d exceeds every live capacity (max %d): %w",
 			ErrNoFit, footprint, gpu.MaxCapacity(s.deviceSlice()), gpu.ErrOutOfMemory)
 	}
 	oe := &OverloadError{
@@ -254,6 +294,9 @@ func (s *Scheduler) Place(k int, footprint int64, homeBox int) (int, error) {
 }
 
 // bestTriedLocked is bestLocked minus the devices in the tried bitmask.
+// Only Healthy devices are selectable; fits reports capacity over the
+// live fleet (Healthy or Suspect — suspects may recover), so a footprint
+// only a dead device could hold is a typed no-fit, not an eternal wait.
 func (s *Scheduler) bestTriedLocked(k int, footprint int64, homeBox int, forQueue bool, tried uint64) (int, float64, bool) {
 	best, bestCost, fits := -1, 0.0, false
 	for i := range s.devs {
@@ -261,10 +304,16 @@ func (s *Scheduler) bestTriedLocked(k int, footprint int64, homeBox int, forQueu
 			continue
 		}
 		d := &s.devs[i]
+		if d.health != Healthy && d.health != Suspect {
+			continue
+		}
 		if footprint > d.dev.Capacity {
 			continue
 		}
 		fits = true
+		if d.health != Healthy {
+			continue
+		}
 		if footprint > d.dev.Free() {
 			continue
 		}
@@ -282,7 +331,8 @@ func (s *Scheduler) bestTriedLocked(k int, footprint int64, homeBox int, forQueu
 	return best, bestCost, fits
 }
 
-// Release returns a Place reservation to device di's ledger.
+// Release returns a Place reservation to device di's ledger. Freed
+// capacity re-places any tasks orphaned by a device death.
 func (s *Scheduler) Release(di int, footprint int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -292,6 +342,9 @@ func (s *Scheduler) Release(di int, footprint int64) {
 		s.devs[di].inflight--
 	}
 	s.cCompleted.Add(1)
+	if len(s.orphans) > 0 {
+		s.admitOrphansLocked(s.clock.Now())
+	}
 	s.cond.Broadcast()
 }
 
@@ -324,14 +377,42 @@ func (s *Scheduler) Enqueue(t *Task) (int, error) {
 
 // EnqueueBlocking is Enqueue with backpressure: an overloaded fleet
 // blocks the caller until capacity frees instead of rejecting — how the
-// Engine feeds a solve's full job list through bounded queues.
-func (s *Scheduler) EnqueueBlocking(t *Task) (int, error) {
+// Engine feeds a solve's full job list through bounded queues. The wait
+// ends early when ctx is cancelled (returning ctx.Err()) and never
+// starts for a footprint no live device can ever fit — that fast-fails
+// with the typed ErrNoFit/ErrFleetDead instead of blocking forever.
+func (s *Scheduler) EnqueueBlocking(ctx context.Context, t *Task) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var stop chan struct{}
+	defer func() {
+		if stop != nil {
+			close(stop)
+		}
+	}()
 	for {
+		if err := ctx.Err(); err != nil {
+			return -1, err
+		}
 		di, err := s.enqueueLocked(t)
 		if err == nil || !errors.Is(err, ErrOverloaded) {
 			return di, err
+		}
+		if stop == nil && ctx.Done() != nil {
+			// The watcher takes the scheduler mutex before broadcasting,
+			// and this goroutine holds it until cond.Wait parks — so a
+			// cancellation can never slip between the check above and the
+			// wait below.
+			stop = make(chan struct{})
+			go func() {
+				select {
+				case <-ctx.Done():
+					s.mu.Lock()
+					s.cond.Broadcast()
+					s.mu.Unlock()
+				case <-stop:
+				}
+			}()
 		}
 		s.cond.Wait()
 	}
@@ -427,9 +508,32 @@ func (s *Scheduler) WaitBatch(di int, dst []*Task) []*Task {
 
 func (s *Scheduler) nextBatchLocked(di int, dst []*Task) []*Task {
 	d := &s.devs[di]
+	if d.health != Healthy {
+		// Suspect devices finish what they have; dead/probation devices
+		// dispatch nothing until a probe streak readmits them.
+		return nil
+	}
 	if len(d.queue) == 0 {
 		s.stealLocked(di)
 	}
+	// Drop stale clones first: an attempt whose slot another attempt
+	// already landed is dead work — release it here instead of burning
+	// the device on it.
+	live := d.queue[:0]
+	for _, t := range d.queue {
+		if t.origin != nil && t.origin.delivered && !t.done {
+			t.done = true
+			d.dev.Release(t.Footprint)
+			s.releasedBytes += t.Footprint
+			s.cCancelled.Add(1)
+			continue
+		}
+		live = append(live, t)
+	}
+	for i := len(live); i < len(d.queue); i++ {
+		d.queue[i] = nil
+	}
+	d.queue = live
 	if len(d.queue) == 0 {
 		return nil
 	}
@@ -448,10 +552,13 @@ func (s *Scheduler) nextBatchLocked(di int, dst []*Task) []*Task {
 	}
 	d.queue = kept
 	d.inflight += len(batch)
+	d.running = append(d.running, batch...)
+	now := s.clock.Now()
+	s.armDeadlineLocked(di, len(batch), now)
 	s.gInflight.Max(s.inflightLocked())
 	s.cBatchRuns.Add(1)
 	s.cBatchJobs.Add(int64(len(batch)))
-	s.log.printf(s.clock.Now(), "batch dev=%d k=%d jobs=%d head=%d", di, k, len(batch), batch[0].ID)
+	s.log.printf(now, "batch dev=%d k=%d jobs=%d head=%d", di, k, len(batch), batch[0].ID)
 	return batch
 }
 
@@ -509,17 +616,27 @@ func (s *Scheduler) stealLocked(di int) {
 }
 
 // Complete releases a finished batch: exactly one ledger release per
-// task, the device EWMA fed the per-job share of the batch duration.
+// task, the device EWMA fed the per-job share of the batch duration, and
+// each task's result (the runner wrote t.Result/t.Err on the attempt it
+// owns) delivered to its solve — first attempt to land a slot wins. A
+// task already reclaimed by fault recovery is a late result: dropped and
+// counted, never double-released.
 func (s *Scheduler) Complete(di int, batch []*Task, d time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	now := s.clock.Now()
 	per := d
 	if len(batch) > 0 {
 		per = d / time.Duration(len(batch))
 	}
 	for _, t := range batch {
 		if t.done {
-			s.doubleReleases++
+			if t.reclaimed {
+				s.cLate.Add(1)
+				s.log.printf(now, "late id=%d dev=%d", t.ID, di)
+			} else {
+				s.doubleReleases++
+			}
 			continue
 		}
 		t.done = true
@@ -528,16 +645,87 @@ func (s *Scheduler) Complete(di int, batch []*Task, d time.Duration) {
 		if s.devs[t.dev].inflight > 0 {
 			s.devs[t.dev].inflight--
 		}
+		removeRunning(&s.devs[t.dev], t)
 		s.cCompleted.Add(1)
+		if s.deliverLocked(t, t.Result, t.Err, di) {
+			// This attempt won its slot: a still-pending hedge of the
+			// same root is wasted work — take it back out of the queue.
+			s.cancelCloneLocked(t.root().hedge)
+		}
+	}
+	dv := &s.devs[di]
+	if dv.health == Suspect && len(dv.running) == 0 {
+		dv.health = Healthy
+		s.log.printf(now, "recovered dev=%d", di)
 	}
 	s.observeLocked(di, per)
-	s.log.printf(s.clock.Now(), "done dev=%d jobs=%d per=%.6e", di, len(batch), per.Seconds())
+	s.admitOrphansLocked(now)
+	s.log.printf(now, "done dev=%d jobs=%d per=%.6e", di, len(batch), per.Seconds())
 	s.cond.Broadcast()
 }
 
-// CancelQueued removes a still-queued task by ID, releasing its
-// reservation. It reports whether the task was found (false means a
-// runner already owns it).
+// removeRunning drops t from d's in-flight mirror.
+func removeRunning(d *devState, t *Task) {
+	for i, r := range d.running {
+		if r == t {
+			copy(d.running[i:], d.running[i+1:])
+			d.running[len(d.running)-1] = nil
+			d.running = d.running[:len(d.running)-1]
+			return
+		}
+	}
+}
+
+// errTransient wraps a runner-reported retryable compute error.
+var errTransient = errors.New("fleet: transient compute error")
+
+// FailBatch reports a batch that died to a retryable compute error: the
+// device stays healthy, every task's reservation is released exactly
+// once, and each task is requeued as a fresh attempt (bounded by
+// HealthOptions.MaxAttempts, after which the job fails typed).
+func (s *Scheduler) FailBatch(di int, batch []*Task, cause error, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	if cause == nil {
+		cause = errTransient
+	}
+	for _, t := range batch {
+		if t.done {
+			if t.reclaimed {
+				s.cLate.Add(1)
+			} else {
+				s.doubleReleases++
+			}
+			continue
+		}
+		t.done, t.reclaimed = true, true
+		s.devs[t.dev].dev.Release(t.Footprint)
+		s.releasedBytes += t.Footprint
+		if s.devs[t.dev].inflight > 0 {
+			s.devs[t.dev].inflight--
+		}
+		removeRunning(&s.devs[t.dev], t)
+		s.cTransient.Add(1)
+		s.requeueLocked(t, now, cause)
+	}
+	dv := &s.devs[di]
+	if dv.health == Suspect && len(dv.running) == 0 {
+		dv.health = Healthy
+		s.log.printf(now, "recovered dev=%d", di)
+	}
+	if d > 0 {
+		s.observeLocked(di, d)
+	}
+	s.admitOrphansLocked(now)
+	s.log.printf(now, "failbatch dev=%d jobs=%d cause=%v", di, len(batch), cause)
+	s.cond.Broadcast()
+}
+
+// CancelQueued removes a still-queued (or orphaned) task by ID,
+// releasing any reservation it holds and delivering context.Canceled to
+// its solve. It reports whether the task was found (false means a runner
+// already owns it).
 func (s *Scheduler) CancelQueued(id uint64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -554,20 +742,76 @@ func (s *Scheduler) CancelQueued(id uint64) bool {
 			d.dev.Release(t.Footprint)
 			s.releasedBytes += t.Footprint
 			s.cCancelled.Add(1)
+			s.deliverLocked(t, nil, context.Canceled, -1)
 			s.log.printf(s.clock.Now(), "cancel id=%d dev=%d", id, i)
 			return true
 		}
 	}
+	for j, t := range s.orphans {
+		if t.ID != id {
+			continue
+		}
+		copy(s.orphans[j:], s.orphans[j+1:])
+		s.orphans[len(s.orphans)-1] = nil
+		s.orphans = s.orphans[:len(s.orphans)-1]
+		t.done = true // orphans hold no reservation: nothing to release
+		s.cCancelled.Add(1)
+		s.deliverLocked(t, nil, context.Canceled, -1)
+		s.log.printf(s.clock.Now(), "cancel id=%d orphan", id)
+		return true
+	}
 	return false
 }
 
-// Close wakes every blocked WaitBatch with nil. Queued tasks are not
-// dropped — callers drain their solves before closing.
+// Close drains the scheduler: every queued, in-flight, and orphaned task
+// is resolved with ErrClosed (its reservation released exactly once),
+// every reset channel fires so wedged runners unblock, and every blocked
+// WaitBatch/EnqueueBlocking waiter wakes. Idempotent — a second Close is
+// a no-op. In-flight tasks are marked reclaimed, so a runner's later
+// Complete is dropped as a late result, never a double release.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
 	s.closed = true
+	for i := range s.devs {
+		d := &s.devs[i]
+		if d.reset != nil {
+			close(d.reset)
+			d.reset = nil
+		}
+		for _, t := range d.queue {
+			t.done = true
+			d.dev.Release(t.Footprint)
+			s.releasedBytes += t.Footprint
+			s.deliverLocked(t, nil, ErrClosed, -1)
+		}
+		d.queue = nil
+		for _, t := range d.running {
+			if t.done {
+				continue
+			}
+			t.done, t.reclaimed = true, true
+			d.dev.Release(t.Footprint)
+			s.releasedBytes += t.Footprint
+			if d.inflight > 0 {
+				d.inflight--
+			}
+			s.deliverLocked(t, nil, ErrClosed, -1)
+		}
+		d.running = nil
+	}
+	for _, t := range s.orphans {
+		if t.done {
+			continue
+		}
+		t.done = true
+		s.deliverLocked(t, nil, ErrClosed, -1)
+	}
+	s.orphans = nil
 	s.cond.Broadcast()
-	s.mu.Unlock()
 }
 
 // QueueDepth returns device di's current queue length.
@@ -611,6 +855,7 @@ func (s *Scheduler) Status() []DeviceStatus {
 			Capacity: d.dev.Capacity, Used: d.dev.Used(),
 			Queued: len(d.queue), Inflight: d.inflight,
 			Steals: d.steals, EWMA: time.Duration(d.ewmaNanos),
+			Health: d.health, Requeued: d.requeued,
 		}
 	}
 	return out

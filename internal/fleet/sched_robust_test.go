@@ -1,0 +1,445 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"lowcomm3d/internal/conv"
+	"lowcomm3d/internal/gpu"
+	"lowcomm3d/internal/green"
+)
+
+// TestEnqueueBlockingContextCancel pins the backpressure escape hatch: a
+// caller blocked on a full fleet unblocks with the context's error when
+// the context is cancelled — before this fix the wait was eternal.
+func TestEnqueueBlockingContextCancel(t *testing.T) {
+	s, err := NewScheduler(Options{
+		Devices: []*gpu.Device{gpu.V100_32GB()}, N: 256, FarRate: 16,
+		QueueDepth: 1, Clock: NewSimClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fp := s.Footprint(32)
+	if _, err := s.Enqueue(&Task{K: 32, Footprint: fp}); err != nil {
+		t.Fatal(err)
+	}
+	// Queue depth 1 is consumed: the next enqueue must block.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.EnqueueBlocking(ctx, &Task{K: 32, Footprint: fp})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("EnqueueBlocking returned %v before cancellation", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("unblocked with %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("EnqueueBlocking ignored the cancelled context")
+	}
+}
+
+// TestEnqueueBlockingNeverFitFastFails pins the other eternal-wait hole:
+// a footprint no device can ever hold fails fast with the typed ErrNoFit
+// (wrapping the device OOM cause) instead of waiting for capacity that
+// can never free.
+func TestEnqueueBlockingNeverFitFastFails(t *testing.T) {
+	tiny := &gpu.Device{Name: "tiny", Capacity: 1 << 12}
+	s, err := NewScheduler(Options{Devices: []*gpu.Device{tiny}, N: 256, FarRate: 16, Clock: NewSimClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	fp := s.Footprint(32)
+	if fp <= tiny.Capacity {
+		t.Fatalf("test setup: footprint %d fits the tiny device", fp)
+	}
+	start := time.Now()
+	_, err = s.EnqueueBlocking(context.Background(), &Task{K: 32, Footprint: fp})
+	if !errors.Is(err, ErrNoFit) {
+		t.Fatalf("error %v, want ErrNoFit", err)
+	}
+	if !errors.Is(err, gpu.ErrOutOfMemory) {
+		t.Fatalf("error %v does not carry the OOM cause", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("never-fit rejection took %v; must fail fast", time.Since(start))
+	}
+}
+
+// stealFixture builds a two-device scheduler and parks every enqueued
+// task on device 0 by pre-filling device 1's ledger during admission
+// (released afterwards, so stealing can migrate work there).
+func stealFixture(t *testing.T, maxBatch int, ks []int) (*Scheduler, []*Task, *resultSink) {
+	t.Helper()
+	devs := []*gpu.Device{gpu.V100_32GB(), gpu.V100_32GB()}
+	s, err := NewScheduler(Options{
+		Devices: devs, N: 256, FarRate: 16, Clock: NewSimClock(),
+		QueueDepth: 16, MaxBatch: maxBatch, StealMin: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	fill := devs[1].Free()
+	if err := devs[1].Reserve(fill); err != nil {
+		t.Fatal(err)
+	}
+	sink := newResultSink(len(ks))
+	tasks := make([]*Task, len(ks))
+	for i, k := range ks {
+		tasks[i] = &Task{K: k, Footprint: s.Footprint(k), Slot: i, sink: sink}
+		di, err := s.Enqueue(tasks[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if di != 0 {
+			t.Fatalf("task %d placed on device %d, want 0", i, di)
+		}
+	}
+	devs[1].Release(fill)
+	return s, tasks, sink
+}
+
+// drainAll dispatches and completes every runnable batch on both devices
+// until the scheduler has nothing left.
+func drainAll(t *testing.T, s *Scheduler) {
+	t.Helper()
+	for {
+		progressed := false
+		for di := 0; di < 2; di++ {
+			for {
+				b := s.NextBatch(di, make([]*Task, 0, 16))
+				if b == nil {
+					break
+				}
+				progressed = true
+				s.Complete(di, b, time.Millisecond)
+			}
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+// TestCancelQueuedThenSteal pins the cancel/steal interplay, cancel
+// first: a task cancelled out of the victim's queue half that a sibling
+// subsequently steals must stay cancelled — never dispatched, its
+// reservation released exactly once, its solve delivered
+// context.Canceled.
+func TestCancelQueuedThenSteal(t *testing.T) {
+	s, tasks, sink := stealFixture(t, 3, []int{32, 32, 32, 32, 32, 32})
+	victim := tasks[4]
+	if !s.CancelQueued(victim.ID) {
+		t.Fatalf("CancelQueued missed a queued task")
+	}
+	// The idle sibling steals the newer queue half — the half that held
+	// the cancelled task — and dispatches it.
+	b := s.NextBatch(1, make([]*Task, 0, 8))
+	if b == nil {
+		t.Fatalf("thief dispatched nothing; steal never happened")
+	}
+	for _, bt := range b {
+		if bt == victim {
+			t.Fatalf("cancelled task was stolen and dispatched")
+		}
+	}
+	s.Complete(1, b, time.Millisecond)
+	drainAll(t, s)
+	if s.tr.CounterValue("fleet.steals") == 0 {
+		t.Fatalf("no steal happened; the interplay was not exercised")
+	}
+	for i := range tasks {
+		if i == 4 {
+			if !errors.Is(sink.errs[i], context.Canceled) {
+				t.Errorf("cancelled slot delivered %v, want context.Canceled", sink.errs[i])
+			}
+			if sink.devs[i] != -1 {
+				t.Errorf("cancelled task ran on device %d", sink.devs[i])
+			}
+			continue
+		}
+		if sink.errs[i] != nil {
+			t.Errorf("slot %d failed: %v", i, sink.errs[i])
+		}
+	}
+	reserved, released, doubles := s.Audit()
+	if reserved != released || doubles != 0 {
+		t.Errorf("audit reserved=%d released=%d doubles=%d", reserved, released, doubles)
+	}
+}
+
+// TestStealThenCancelQueued pins the reverse order: a sibling steals the
+// queue half containing the task, and the cancel must find it on the
+// thief — releasing the migrated reservation from the thief's ledger,
+// exactly once.
+func TestStealThenCancelQueued(t *testing.T) {
+	// Mixed sub-domain sizes: the stolen half is [16b 32c 16c]; the thief
+	// dispatches the k=16 head pair and leaves 32c queued — stolen but not
+	// yet running, the exact window the cancel targets.
+	s, tasks, sink := stealFixture(t, 4, []int{32, 16, 32, 16, 32, 16})
+	target := tasks[4] // 32c: the k=32 task in the newer half
+	b := s.NextBatch(1, make([]*Task, 0, 8))
+	if b == nil {
+		t.Fatalf("thief dispatched nothing; steal never happened")
+	}
+	if target.Device() != 1 {
+		t.Fatalf("target task on device %d after steal, want 1", target.Device())
+	}
+	if got := s.QueueDepth(1); got != 1 {
+		t.Fatalf("thief queues %d tasks after dispatch, want 1 (the target)", got)
+	}
+	if !s.CancelQueued(target.ID) {
+		t.Fatalf("CancelQueued missed the stolen task")
+	}
+	s.Complete(1, b, time.Millisecond)
+	drainAll(t, s)
+	for i := range tasks {
+		if i == 4 {
+			if !errors.Is(sink.errs[i], context.Canceled) {
+				t.Errorf("cancelled slot delivered %v, want context.Canceled", sink.errs[i])
+			}
+			continue
+		}
+		if sink.errs[i] != nil {
+			t.Errorf("slot %d failed: %v", i, sink.errs[i])
+		}
+	}
+	reserved, released, doubles := s.Audit()
+	if reserved != released || doubles != 0 {
+		t.Errorf("audit reserved=%d released=%d doubles=%d", reserved, released, doubles)
+	}
+	for di, st := range s.Status() {
+		if st.Used != 0 {
+			t.Errorf("device %d holds %d bytes after drain", di, st.Used)
+		}
+	}
+}
+
+// TestCancelStealConcurrent hammers cancellation against live runners
+// and stealing under the race detector: every slot resolves exactly once
+// (completed or cancelled), and the ledger audit stays exact.
+func TestCancelStealConcurrent(t *testing.T) {
+	const jobs = 120
+	devs := []*gpu.Device{gpu.V100_16GB(), gpu.V100_16GB()}
+	s, err := NewScheduler(Options{
+		Devices: devs, N: 256, FarRate: 16,
+		QueueDepth: 4, MaxBatch: 4, StealMin: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runners sync.WaitGroup
+	for di := 0; di < len(devs); di++ {
+		runners.Add(1)
+		go func(di int) {
+			defer runners.Done()
+			buf := make([]*Task, 0, 8)
+			for {
+				batch := s.WaitBatch(di, buf)
+				if batch == nil {
+					return
+				}
+				s.Complete(di, batch, time.Microsecond)
+			}
+		}(di)
+	}
+
+	sink := newResultSink(jobs)
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	ids := make(chan uint64, jobs)
+	var cancels sync.WaitGroup
+	cancels.Add(1)
+	go func() {
+		defer cancels.Done()
+		for id := range ids {
+			s.CancelQueued(id) // false when a runner beat us to it — fine
+		}
+	}()
+	fp := s.Footprint(32)
+	for i := 0; i < jobs; i++ {
+		task := &Task{K: 32, Footprint: fp, Slot: i, sink: sink, wg: &wg}
+		if _, err := s.EnqueueBlocking(context.Background(), task); err != nil {
+			t.Fatalf("enqueue %d: %v", i, err)
+		}
+		if i%3 == 0 {
+			ids <- task.ID
+		}
+	}
+	close(ids)
+	wg.Wait()
+	cancels.Wait()
+	s.Close()
+	runners.Wait()
+
+	for i := 0; i < jobs; i++ {
+		if err := sink.errs[i]; err != nil && !errors.Is(err, context.Canceled) {
+			t.Errorf("slot %d resolved with %v, want nil or context.Canceled", i, err)
+		}
+	}
+	reserved, released, doubles := s.Audit()
+	if reserved != released || doubles != 0 {
+		t.Errorf("audit reserved=%d released=%d doubles=%d", reserved, released, doubles)
+	}
+	for di, d := range devs {
+		if u := d.Used(); u != 0 {
+			t.Errorf("device %d holds %d bytes after drain", di, u)
+		}
+	}
+}
+
+// TestSchedulerCloseUnblocksWaiters pins the shutdown contract: Close
+// wakes every blocked WaitBatch (nil) and EnqueueBlocking (ErrClosed)
+// waiter, resolves queued tasks with ErrClosed, and leaves zero ledger
+// bytes reserved.
+func TestSchedulerCloseUnblocksWaiters(t *testing.T) {
+	// Device 1 is too small for any job: nothing is ever placed or stolen
+	// there, so its WaitBatch can only be released by Close. Queue depth 1
+	// makes the second enqueue block on the full device 0.
+	devs := []*gpu.Device{gpu.V100_32GB(), {Name: "tiny", Capacity: 1 << 12}}
+	s, err := NewScheduler(Options{Devices: devs, N: 256, FarRate: 16, QueueDepth: 1, StealMin: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := newResultSink(1)
+	queued := &Task{K: 32, Footprint: s.Footprint(32), Slot: 0, sink: sink}
+	if _, err := s.Enqueue(queued); err != nil {
+		t.Fatal(err)
+	}
+	waitDone := make(chan bool, 1)
+	go func() {
+		waitDone <- s.WaitBatch(1, nil) == nil
+	}()
+	enqDone := make(chan error, 1)
+	go func() {
+		_, err := s.EnqueueBlocking(context.Background(), &Task{K: 32, Footprint: s.Footprint(32)})
+		enqDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	s.Close()
+	select {
+	case ok := <-waitDone:
+		if !ok {
+			t.Fatalf("WaitBatch on the starved device returned a batch")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("WaitBatch still blocked after Close")
+	}
+	select {
+	case err := <-enqDone:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("EnqueueBlocking unblocked with %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("EnqueueBlocking still blocked after Close")
+	}
+	if !errors.Is(sink.errs[0], ErrClosed) {
+		t.Errorf("queued task resolved with %v, want ErrClosed", sink.errs[0])
+	}
+	if u := devs[0].Used(); u != 0 {
+		t.Errorf("device holds %d ledger bytes after Close", u)
+	}
+	reserved, released, doubles := s.Audit()
+	if reserved != released || doubles != 0 {
+		t.Errorf("audit reserved=%d released=%d doubles=%d after Close", reserved, released, doubles)
+	}
+}
+
+// TestSchedulerDoubleClose pins idempotent shutdown: a second Close is a
+// no-op — no panic, no double release, audit unchanged.
+func TestSchedulerDoubleClose(t *testing.T) {
+	s, err := NewScheduler(Options{Devices: []*gpu.Device{gpu.V100_16GB()}, N: 256, FarRate: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enqueue(&Task{K: 32, Footprint: s.Footprint(32), sink: newResultSink(1)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	r1, l1, d1 := s.Audit()
+	s.Close()
+	r2, l2, d2 := s.Audit()
+	if r1 != r2 || l1 != l2 || d1 != d2 {
+		t.Errorf("second Close changed the audit: (%d,%d,%d) -> (%d,%d,%d)", r1, l1, d1, r2, l2, d2)
+	}
+	if r2 != l2 || d2 != 0 {
+		t.Errorf("audit reserved=%d released=%d doubles=%d after double close", r2, l2, d2)
+	}
+	if _, err := s.Enqueue(&Task{K: 32, Footprint: s.Footprint(32)}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Enqueue after Close returned %v, want ErrClosed", err)
+	}
+}
+
+// TestSolveUnblocksOnClose pins the engine-level shutdown path: a solve
+// in flight when the engine closes resolves — every waiter unblocks with
+// a typed error (or the solve spills and completes) — instead of leaking
+// a parked goroutine.
+func TestSolveUnblocksOnClose(t *testing.T) {
+	e, err := NewEngine(EngineOptions{
+		Fleet:   Options{Devices: []*gpu.Device{gpu.V100_16GB()}, N: 16, FarRate: 8},
+		Kernel:  green.Gaussian{Sigma: 1.5},
+		SubSize: 8,
+		Conv:    conv.Config{Workers: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := e.Solve("t", testField(16, 1))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	e.Close()
+	select {
+	case err := <-done:
+		// nil (completed before close), typed ErrClosed, or a spill result
+		// are all acceptable; an untyped error is not.
+		if err != nil && !errors.Is(err, ErrClosed) {
+			t.Fatalf("solve resolved with %v, want nil or ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("solve still blocked after engine Close")
+	}
+	if _, _, err := e.Solve("t", testField(16, 2)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Solve after Close returned %v, want ErrClosed", err)
+	}
+}
+
+// TestEngineDoubleCloseWithMonitor pins idempotent engine shutdown with
+// the health monitor running: two Closes, no panic, no goroutine leak.
+func TestEngineDoubleCloseWithMonitor(t *testing.T) {
+	e, err := NewEngine(EngineOptions{
+		Fleet:   Options{Devices: []*gpu.Device{gpu.V100_16GB(), gpu.V100_16GB()}, N: 16, FarRate: 8},
+		Kernel:  green.Gaussian{Sigma: 1.5},
+		SubSize: 8,
+		Conv:    conv.Config{Workers: 1},
+		Faults:  &FaultSchedule{Seed: 1}, // zero probabilities: monitor runs, nothing fires
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Solve("t", testField(16, 3)); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close()
+	reserved, released, doubles := e.Scheduler().Audit()
+	if reserved != released || doubles != 0 {
+		t.Errorf("audit reserved=%d released=%d doubles=%d", reserved, released, doubles)
+	}
+}

@@ -27,6 +27,16 @@ type SimConfig struct {
 	MaxBatch   int
 	StealMin   int
 
+	// Faults injects seeded device faults into dispatched batches; the
+	// fault drawn is a pure function of (Faults.Seed, device, dispatch,
+	// point), independent of cfg.Seed. Setting it activates the health
+	// monitor. Health tunes the monitor; health checks are event-driven
+	// (the loop jumps to the scheduler's next deadline or probe),
+	// HealthTick only floors the spacing between checks (≤0: 5ms).
+	Faults     *FaultSchedule
+	Health     HealthOptions
+	HealthTick time.Duration
+
 	Log *Log // optional decision trace
 
 	// Check, when non-nil, runs after every simulation step; a non-nil
@@ -41,11 +51,22 @@ type SimReport struct {
 	Rejected  int // jobs rejected with ErrOverloaded
 	NoFit     int // jobs rejected with ErrNoFit (would spill in the engine)
 	Completed int // jobs completed
+	Failed    int // placed jobs resolved with a typed error by fault recovery
+	Unsettled int // placed jobs never resolved — always zero (a hang otherwise)
 
 	Steals     int64 // steal operations (from fleet.steals)
 	StolenJobs int64
 	BatchRuns  int64
 	BatchJobs  int64
+
+	// Fault-recovery counters (zero without a FaultSchedule).
+	Requeued   int64 // jobs reclaimed from dead devices and re-placed
+	Hedged     int64 // hedged re-executions launched for suspect batches
+	Late       int64 // completions that arrived after recovery reclaimed them
+	Transients int64 // retryable compute-error batches
+	Suspects   int64 // suspect transitions
+	Deaths     int64 // dead declarations
+	Readmitted int64 // probation → healthy readmissions
 
 	Reserved, Released, DoubleReleases int64 // scheduler ledger audit
 
@@ -62,10 +83,15 @@ type SimReport struct {
 // simulated device so ErrNoFit paths are exercised too.
 var simKs = []int{32, 32, 32, 32, 64, 64, 64, 128, 128, 512}
 
+// errSimCrash is the death cause for a simulated device crash.
+var errSimCrash = errors.New("fleet: simulated device crash")
+
 // RunSim drives a Scheduler through a seeded synthetic workload on a
 // simulated clock and returns the run's report. Everything — fleet
-// shape, arrivals, batch durations, steal decisions — is a deterministic
-// function of cfg.
+// shape, arrivals, batch durations, steal decisions, injected faults,
+// health transitions — is a deterministic function of cfg. The loop is
+// guarded against wedging: if pending work stops making progress the run
+// errors instead of spinning, so "never hangs" is a checkable property.
 func RunSim(cfg SimConfig) (*SimReport, error) {
 	if cfg.Devices <= 0 {
 		cfg.Devices = 4
@@ -98,7 +124,7 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 		Devices: devs, BoxOf: boxOf,
 		N: cfg.N, FarRate: cfg.FarRate,
 		QueueDepth: cfg.QueueDepth, MaxBatch: cfg.MaxBatch, StealMin: cfg.StealMin,
-		Clock: clock, Log: cfg.Log,
+		Clock: clock, Log: cfg.Log, Health: cfg.Health,
 	})
 	if err != nil {
 		return nil, err
@@ -108,6 +134,10 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 		at time.Duration
 		t  *Task
 	}
+	// One sink slot per job: the sim reads per-job outcomes (success vs
+	// typed recovery failure) the same way the engine does — from the
+	// sink, never from racing Task fields.
+	sink := newResultSink(cfg.Jobs)
 	jobs := make([]job, cfg.Jobs)
 	at := time.Duration(0)
 	for i := range jobs {
@@ -118,6 +148,8 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 			K:         k,
 			Footprint: gpu.JobFootprint(cfg.N, k, cfg.FarRate),
 			HomeBox:   rng.Intn(cfg.Boxes),
+			Slot:      i,
+			sink:      sink,
 		}}
 	}
 
@@ -131,15 +163,48 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 	}
 
 	busy := make([][]*Task, cfg.Devices) // nil = idle
+	hung := make([]bool, cfg.Devices)    // batch wedged: no completion event
+	trans := make([]bool, cfg.Devices)   // batch fails retryably at completion
 	until := make([]time.Duration, cfg.Devices)
 	dur := make([]time.Duration, cfg.Devices)
+	disp := make([]uint64, cfg.Devices)
+	probeN := make([]int, cfg.Devices)
 	bufs := make([][]*Task, cfg.Devices)
 	for i := range bufs {
 		bufs[i] = make([]*Task, 0, 8)
 	}
+	var placed []*Task
 	cost := s.cost
 	now := time.Duration(0)
 	next := 0 // next arrival index
+
+	healthOn := cfg.Faults != nil || cfg.HealthTick > 0
+	healthTick := cfg.HealthTick
+	if healthTick <= 0 {
+		healthTick = 5 * time.Millisecond
+	}
+	// nextHealth is event-driven: recomputed from the scheduler's own
+	// deadlines after every step, -1 when no health event is pending. A
+	// fixed tick would make the step count scale with deadline magnitude
+	// (thousands of no-op ticks while a long batch runs) and trip the
+	// wedge guard on runs that are slow but progressing.
+	nextHealth := time.Duration(-1)
+	epoch := clock.Now()
+	rearmHealth := func() {
+		nextHealth = -1
+		if !healthOn {
+			return
+		}
+		if ev, ok := s.NextHealthEvent(); ok {
+			nh := ev.Sub(epoch)
+			if nh <= now {
+				nh = now + healthTick
+			} else {
+				nh += time.Nanosecond // deadlines use strict After
+			}
+			nextHealth = nh
+		}
+	}
 
 	sample := func() error {
 		for i, d := range devs {
@@ -157,31 +222,80 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 		return nil
 	}
 
+	pending := func() bool {
+		if next < len(jobs) {
+			return true
+		}
+		for i := range busy {
+			if busy[i] != nil {
+				return true
+			}
+		}
+		for _, t := range placed {
+			if !t.delivered {
+				return true
+			}
+		}
+		return false
+	}
+
+	// The step guard bounds the event count so a wedged scheduler is a
+	// typed sim error, not an infinite loop — "never hangs" is checkable.
+	maxSteps := cfg.Jobs*400 + 4000
+	steps := 0
+
 	for {
-		// Next event: the earliest pending arrival or batch completion.
+		// Next event: the earliest pending arrival, batch completion, or
+		// (with supervision on and work outstanding) health tick.
 		event := time.Duration(-1)
 		if next < len(jobs) {
 			event = jobs[next].at
 		}
 		for i := range busy {
-			if busy[i] != nil && (event < 0 || until[i] < event) {
+			if busy[i] != nil && !hung[i] && (event < 0 || until[i] < event) {
 				event = until[i]
 			}
 		}
+		if healthOn && nextHealth >= 0 && pending() && (event < 0 || nextHealth < event) {
+			event = nextHealth
+		}
 		if event < 0 {
-			break // no arrivals left, every device idle
+			break // nothing can make progress
+		}
+		if steps++; steps > maxSteps {
+			return nil, fmt.Errorf("sim: wedged after %d steps (seed %d): pending work stopped progressing", steps, cfg.Seed)
 		}
 		if event > now {
 			clock.Advance(event - now)
 			now = event
 		}
-		// Completions first (device order), then arrivals, then dispatch —
-		// a fixed order, so the decision sequence is seed-deterministic.
+		// Fixed phase order — completions, health, arrivals, dispatch — so
+		// the decision sequence is seed-deterministic.
 		for i := range busy {
-			if busy[i] != nil && until[i] <= now {
-				s.Complete(i, busy[i], dur[i])
-				rep.Completed += len(busy[i])
-				busy[i] = nil
+			if busy[i] != nil && !hung[i] && until[i] <= now {
+				if trans[i] {
+					s.FailBatch(i, busy[i], nil, dur[i])
+				} else {
+					s.Complete(i, busy[i], dur[i])
+					rep.Completed += len(busy[i])
+				}
+				busy[i], trans[i] = nil, false
+			}
+		}
+		if healthOn && nextHealth >= 0 && now >= nextHealth {
+			for _, di := range s.CheckHealth(clock.Now()) {
+				ok := cfg.Faults.ProbeOK(di, probeN[di]) && devs[di].Probe() == nil
+				probeN[di]++
+				s.Probe(di, ok)
+			}
+			// A death reclaims the wedged batch and "resets" the device:
+			// drop the sim's hung marker, never Complete it.
+			for i := range busy {
+				if hung[i] {
+					if h := s.DeviceHealth(i); h != Healthy && h != Suspect {
+						busy[i], hung[i] = nil, false
+					}
+				}
 			}
 		}
 		for next < len(jobs) && jobs[next].at <= now {
@@ -189,7 +303,7 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 			next++
 			if _, err := s.Enqueue(t); err != nil {
 				switch {
-				case errors.Is(err, ErrNoFit):
+				case errors.Is(err, ErrNoFit), errors.Is(err, ErrFleetDead):
 					rep.NoFit++
 				case errors.Is(err, ErrOverloaded):
 					rep.Rejected++
@@ -198,6 +312,7 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 				}
 				continue
 			}
+			placed = append(placed, t)
 			rep.Placed++
 		}
 		for i := range busy {
@@ -208,31 +323,75 @@ func RunSim(cfg SimConfig) (*SimReport, error) {
 			if b == nil {
 				continue
 			}
+			// The injected fault for this dispatch: first firing point
+			// wins (the sim has no mid-execution, so the distinction
+			// collapses to whether any point fires).
+			kind := FaultNone
+			if cfg.Faults != nil {
+				for _, pt := range []FaultPoint{PointDispatch, PointMidBatch, PointCompletion} {
+					if k := cfg.Faults.At(i, disp[i], pt); k != FaultNone {
+						kind = k
+						break
+					}
+				}
+			}
+			disp[i]++
+			if kind == FaultCrash {
+				s.ReportDeviceFailure(i, errSimCrash)
+				continue
+			}
 			sec, err := cost.BatchSeconds(cfg.N, b[0].K, cfg.FarRate, len(b))
 			if err != nil {
 				return nil, err
 			}
 			d := time.Duration(sec * float64(time.Second))
+			if kind == FaultSlow {
+				d = time.Duration(float64(d) * cfg.Faults.slowFactor())
+			}
 			if d <= 0 {
 				d = time.Microsecond
 			}
 			busy[i], dur[i], until[i] = b, d, now+d
+			switch kind {
+			case FaultHang:
+				hung[i] = true
+			case FaultTransient:
+				trans[i] = true
+			}
 		}
+		rearmHealth()
 		if err := sample(); err != nil {
 			return nil, err
 		}
 	}
 
+	for _, t := range placed {
+		if !t.delivered {
+			rep.Unsettled++
+		} else if sink.errs[t.Slot] != nil {
+			rep.Failed++
+		}
+	}
 	rep.Steals = s.tr.CounterValue("fleet.steals")
 	rep.StolenJobs = s.tr.CounterValue("fleet.stolen_jobs")
 	rep.BatchRuns = s.tr.CounterValue("fleet.batch_runs")
 	rep.BatchJobs = s.tr.CounterValue("fleet.batch_jobs")
+	rep.Requeued = s.tr.CounterValue("fleet.requeued_jobs")
+	rep.Hedged = s.tr.CounterValue("fleet.hedged_runs")
+	rep.Late = s.tr.CounterValue("fleet.late_results")
+	rep.Transients = s.tr.CounterValue("fleet.transient_retries")
+	rep.Suspects = s.tr.CounterValue("fleet.health_suspect")
+	rep.Deaths = s.tr.CounterValue("fleet.health_dead")
+	rep.Readmitted = s.tr.CounterValue("fleet.health_readmitted")
+	rep.Elapsed = now
+	rep.Status = s.Status()
+	// Close before the final audit: the drain resolves any stray hedge
+	// clone still queued after its root delivered, so "no bytes left
+	// reserved" is checked over the complete lifecycle.
+	s.Close()
 	rep.Reserved, rep.Released, rep.DoubleReleases = s.Audit()
 	for i, d := range devs {
 		rep.EndUsed[i] = d.Used()
 	}
-	rep.Elapsed = now
-	rep.Status = s.Status()
-	s.Close()
 	return rep, nil
 }

@@ -111,6 +111,23 @@ func (d *Device) Release(bytes int64) {
 	d.mu.Unlock()
 }
 
+// ProbeBytes is the nominal allocation a health probe exercises — small
+// enough to fit any device with headroom, large enough to catch a ledger
+// wedged at capacity.
+const ProbeBytes = 1 << 20
+
+// Probe exercises a reserve/release round-trip on the ledger, the
+// readmission check fleet health supervision runs against a quarantined
+// device before letting it take placements again. It perturbs peak
+// tracking by at most ProbeBytes and leaves used unchanged.
+func (d *Device) Probe() error {
+	if err := d.Reserve(ProbeBytes); err != nil {
+		return err
+	}
+	d.Release(ProbeBytes)
+	return nil
+}
+
 // Used returns the bytes currently allocated.
 func (d *Device) Used() int64 {
 	d.mu.Lock()

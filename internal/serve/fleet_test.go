@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"lowcomm3d/internal/fleet"
 	"lowcomm3d/internal/gpu"
 	"lowcomm3d/internal/grid"
 )
@@ -150,5 +151,24 @@ func TestSingleDeviceOptionIsOneDeviceFleet(t *testing.T) {
 	}
 	if st := e.FleetStatus(); len(st) != 1 || st[0].Name != "tiny" {
 		t.Fatalf("FleetStatus = %+v, want the single configured device", st)
+	}
+}
+
+// TestSubmitFleetDeadTyped pins degraded admission's floor at the serve
+// layer: with every fleet device dead, Submit returns the typed
+// fleet.ErrFleetDead — not an OverloadError, whose RetryAfter would tell
+// clients a retry could help.
+func TestSubmitFleetDeadTyped(t *testing.T) {
+	devs := []*gpu.Device{gpu.V100_16GB(), gpu.V100_16GB()}
+	e := testEngine(t, Options{Dim: grid.Cube(16), Workers: 1, Devices: devs})
+	for di := range devs {
+		e.sched.ReportDeviceFailure(di, errors.New("test crash"))
+	}
+	_, err := e.Submit(context.Background(), "a", grid.CubeAt(grid.Point{0, 0, 0}, 8), testField(8, 1))
+	if !errors.Is(err, fleet.ErrFleetDead) {
+		t.Fatalf("err = %v, want fleet.ErrFleetDead", err)
+	}
+	if errors.Is(err, ErrOverloaded) {
+		t.Fatalf("fleet-dead surfaced as ErrOverloaded: %v", err)
 	}
 }

@@ -327,6 +327,12 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 			e.queued--
 			e.mu.Unlock()
 			e.cRejected.Add(1)
+			if errors.Is(err, fleet.ErrFleetDead) {
+				// Not an overload: no retry hint helps a fleet with zero
+				// live devices. Pass the typed error through so wire can
+				// surface it distinctly and clients stop retrying.
+				return Result{}, err
+			}
 			e.cRejMem.Add(1)
 			oe := &OverloadError{
 				Reason: "device memory", QueueDepth: depth - 1,
@@ -452,6 +458,11 @@ func (e *Engine) releaseDev(t *task) {
 		t.dev = -1
 	}
 }
+
+// Scheduler exposes the fleet scheduler backing admission (nil when the
+// engine was built without devices) — the hook for health supervision,
+// fault reporting, and the exactly-once ledger audit.
+func (e *Engine) Scheduler() *fleet.Scheduler { return e.sched }
 
 // FleetStatus snapshots the admission fleet's devices (nil when the
 // engine was built without devices).

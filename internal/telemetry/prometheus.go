@@ -79,6 +79,15 @@ var helpText = map[string]string{
 	"fleet.batch_jobs":               "Jobs dispatched inside batched runs; batch_jobs/batch_runs is the realized batching factor.",
 	"fleet.queue_depth":              "High-water jobs queued across the whole fleet.",
 	"fleet.inflight":                 "High-water jobs executing simultaneously across the fleet.",
+	"fleet.health_suspect":           "Devices marked suspect after missing their EWMA-derived batch deadline.",
+	"fleet.health_dead":              "Devices declared dead and quarantined (crash reports plus missed dead deadlines); their queued and in-flight work was reconciled back through the ledger.",
+	"fleet.health_probes":            "Readmission probes issued against quarantined devices.",
+	"fleet.health_readmitted":        "Quarantined devices readmitted to Healthy after a consecutive-OK probe streak.",
+	"fleet.requeued_jobs":            "Jobs reclaimed from a dead device and re-placed on survivors (exactly-once: the dead reservation released, the new one re-reserved).",
+	"fleet.hedged_runs":              "Hedged re-executions launched for batches stuck on suspect devices; first result wins, byte-identical either way.",
+	"fleet.failed_jobs":              "Jobs resolved with a typed error after exhausting their fault-recovery attempts.",
+	"fleet.late_results":             "Completions that arrived after recovery had already reclaimed the batch - dropped and counted, never double-released.",
+	"fleet.transient_retries":        "Batch attempts lost to retryable compute errors and requeued as fresh attempts.",
 	"wire.sessions_opened":           "Wire sessions opened by a client Hello without a resumable token.",
 	"wire.sessions_resumed":          "Reconnects that re-attached to a live session by token (streaming resumes from the last ack).",
 	"wire.sessions_expired":          "Detached sessions reaped after SessionTTL with their undelivered results.",

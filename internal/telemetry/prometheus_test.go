@@ -255,3 +255,26 @@ func TestCombinedExpositionNoDuplicates(t *testing.T) {
 	}
 	lintExposition(t, buf.String())
 }
+
+// TestFleetHealthMetricsDocumented pins HELP text for every fault-
+// tolerance counter the fleet scheduler registers: an undocumented
+// series ships a dashboard nobody can read.
+func TestFleetHealthMetricsDocumented(t *testing.T) {
+	for _, name := range []string{
+		"fleet.health_suspect", "fleet.health_dead", "fleet.health_probes",
+		"fleet.health_readmitted", "fleet.requeued_jobs", "fleet.hedged_runs",
+		"fleet.failed_jobs", "fleet.late_results", "fleet.transient_retries",
+	} {
+		help, ok := helpText[name]
+		if !ok {
+			t.Errorf("metric %q has no HELP text", name)
+			continue
+		}
+		if strings.TrimSpace(help) == "" {
+			t.Errorf("metric %q has empty HELP text", name)
+		}
+		if strings.ContainsAny(help, "\n\\") {
+			t.Errorf("metric %q HELP text needs escaping: %q", name, help)
+		}
+	}
+}

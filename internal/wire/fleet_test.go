@@ -2,6 +2,7 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"reflect"
 	"testing"
 	"time"
@@ -18,8 +19,9 @@ import (
 func TestFleetStatusPayloadRoundTrip(t *testing.T) {
 	m := fleetStatusMsg{Rows: []fleet.DeviceStatus{
 		{Name: "v100-a", Box: 0, Capacity: 16 * gpu.GiB, Used: 123456,
-			Queued: 3, Inflight: 1, Steals: 7, EWMA: 42 * time.Millisecond},
-		{Name: "v100-b", Box: 1, Capacity: 32 * gpu.GiB},
+			Queued: 3, Inflight: 1, Steals: 7, EWMA: 42 * time.Millisecond,
+			Health: fleet.Suspect, Requeued: 5},
+		{Name: "v100-b", Box: 1, Capacity: 32 * gpu.GiB, Health: fleet.Dead},
 	}}
 	got, err := decodeFleetStatus(m.encode())
 	if err != nil {
@@ -106,3 +108,44 @@ func TestClientFleetStatusNoFleet(t *testing.T) {
 		t.Fatalf("fleetless engine reported %d device rows: %+v", len(rows), rows)
 	}
 }
+
+// TestClientFleetDeadStatus pins the degraded-admission protocol path:
+// with every fleet device dead, a submit comes back as the typed
+// StatusFleetDead — errors.Is(err, fleet.ErrFleetDead) holds across the
+// wire, the code is not retryable — and the fleet query reports the
+// devices' health as dead.
+func TestClientFleetDeadStatus(t *testing.T) {
+	devs := []*gpu.Device{gpu.V100_16GB(), gpu.V100_16GB()}
+	eng := testEngine(t, serve.Options{Devices: devs})
+	s := testServer(t, eng, ServerOptions{})
+	c := NewClient(testClientOptions(s.Addr().String()))
+	defer c.Close()
+
+	for di := range devs {
+		eng.Scheduler().ReportDeviceFailure(di, errDeadTest)
+	}
+	box := grid.CubeAt(grid.Point{0, 0, 0}, 8)
+	_, err := c.Submit(context.Background(), "a", box, testField(8, 1))
+	if !errors.Is(err, fleet.ErrFleetDead) {
+		t.Fatalf("submit error %v, want fleet.ErrFleetDead across the wire", err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != StatusFleetDead {
+		t.Fatalf("submit error %v, want StatusFleetDead", err)
+	}
+	if se.Code.Retryable() {
+		t.Fatalf("StatusFleetDead marked retryable")
+	}
+
+	rows, err := c.FleetStatus(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r.Health != fleet.Dead {
+			t.Errorf("row %d health %v over the wire, want dead", i, r.Health)
+		}
+	}
+}
+
+var errDeadTest = errors.New("test: induced device death")

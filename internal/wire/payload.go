@@ -386,6 +386,8 @@ func (m fleetStatusMsg) encode() []byte {
 		e.u32(uint32(r.Inflight))
 		e.i64(r.Steals)
 		e.i64(int64(r.EWMA))
+		e.u8(uint8(r.Health))
+		e.i64(r.Requeued)
 	}
 	return e.b
 }
@@ -407,6 +409,8 @@ func decodeFleetStatus(p []byte) (fleetStatusMsg, error) {
 		r.Inflight = int(d.u32("fleet-status"))
 		r.Steals = d.i64("fleet-status")
 		r.EWMA = time.Duration(d.i64("fleet-status"))
+		r.Health = fleet.Health(d.u8("fleet-status"))
+		r.Requeued = d.i64("fleet-status")
 		m.Rows = append(m.Rows, r)
 	}
 	if err := d.done("fleet-status"); err != nil {

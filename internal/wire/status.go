@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"lowcomm3d/internal/fleet"
 	"lowcomm3d/internal/gpu"
 	"lowcomm3d/internal/serve"
 )
@@ -52,6 +53,10 @@ const (
 	StatusUnknownJob
 	// StatusInternal reports a server-side failure executing the job.
 	StatusInternal
+	// StatusFleetDead rejects a job because no fleet device is live —
+	// unlike the overload codes, no retry hint helps until devices are
+	// readmitted, so clients surface it instead of backing off.
+	StatusFleetDead
 )
 
 func (s Status) String() string {
@@ -76,6 +81,8 @@ func (s Status) String() string {
 		return "unknown-job"
 	case StatusInternal:
 		return "internal"
+	case StatusFleetDead:
+		return "fleet-dead"
 	default:
 		return fmt.Sprintf("status(%d)", uint16(s))
 	}
@@ -86,6 +93,8 @@ func (s Status) String() string {
 func statusOf(err error) (code Status, retryAfter time.Duration) {
 	var ov *serve.OverloadError
 	switch {
+	case errors.Is(err, fleet.ErrFleetDead):
+		return StatusFleetDead, 0
 	case errors.As(err, &ov):
 		if errors.Is(err, gpu.ErrOutOfMemory) {
 			return StatusOverloadedMemory, ov.RetryAfter
@@ -143,6 +152,8 @@ func (e *StatusError) Unwrap() []error {
 		return []error{context.Canceled}
 	case StatusDeadline:
 		return []error{context.DeadlineExceeded}
+	case StatusFleetDead:
+		return []error{fleet.ErrFleetDead}
 	default:
 		return nil
 	}
