@@ -15,6 +15,7 @@
 //	paperbench -serve-load   §3.1 serving: seeded open-loop load against the steady-state engine
 //	paperbench -wire-load    wire front door over loopback TCP under seeded connection faults
 //	paperbench -fleet-load   fleet scheduler under seeded simulated load across fleet shapes
+//	paperbench -job-trace f  per-job lifecycle tracing study: tenant SLO breakdown + Chrome trace to f
 //	paperbench -all          everything above
 package main
 
@@ -66,6 +67,8 @@ func main() {
 	)
 	flag.StringVar(&ckptDir, "ckpt-dir", "",
 		"durable checkpoint directory for the -chaos study (default: a fresh directory under the OS temp dir)")
+	flag.StringVar(&jobTracePath, "job-trace", "",
+		"run the per-job tracing study and write its Chrome-trace artifact (chrome://tracing / Perfetto JSON) to this file")
 	flag.Parse()
 	if *traceTo != "" || *serve != "" {
 		tr = obs.New()
@@ -126,6 +129,7 @@ func main() {
 	run(*wLoad, wireLoadStudy)
 	run(*fLoad, fleetLoadStudy)
 	run(*fChaos, fleetChaosStudy)
+	run(jobTracePath != "", jobTraceStudy)
 	if !ran && *serve == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -2,6 +2,7 @@ package conv
 
 import (
 	"fmt"
+	"time"
 
 	"lowcomm3d/internal/fft"
 	"lowcomm3d/internal/green"
@@ -81,6 +82,12 @@ type Stats struct {
 	PencilCount int
 	SampleCount int
 	Compression float64 // dense result bytes / compressed bytes
+
+	// Per-stage wall time, measured whether or not a Trace is attached, so
+	// job timelines can attribute compute latency to stages A/B/C.
+	StageA time.Duration // forward 2D slab transforms
+	StageB time.Duration // batched 1D z transforms + pointwise
+	StageC time.Duration // inverse 2D planes + octree gather
 }
 
 // Local performs the paper's domain-local convolution of one k³ sub-domain
@@ -266,6 +273,7 @@ func (l *Local) RunInto(subField *grid.Field, out *sample.Compressed) (*sample.C
 	// N×N×k slab ("the small domain undergoes a 2D transform to a slab").
 	// The buffer is reused across runs; the padded path needs it zeroed
 	// (only the k×k block is written before the full-plane transform).
+	tA := time.Now()
 	spanA := run.Start("conv.stageA")
 	if len(l.slabBuf) != n*n*k {
 		l.slabBuf = make([]complex128, n*n*k)
@@ -279,13 +287,16 @@ func (l *Local) RunInto(subField *grid.Field, out *sample.Compressed) (*sample.C
 		return nil, st, err
 	}
 	l.runIn = nil // input is only read in stage A; don't retain it
-	l.hA.Observe(spanA.End())
+	spanA.End()
+	st.StageA = time.Since(tA)
+	l.hA.Observe(st.StageA)
 	st.SlabBytes = 16 * n * n * k
 
 	// Stage B — batched 1D z transforms of the N² pencils with the
 	// pointwise callback, inverse z transform, keeping only sampled z
 	// planes ("the slab is then transformed in a batch fashion by taking
 	// 1D transforms of B pencils at a time in the z-dimension").
+	tB := time.Now()
 	spanB := run.Start("conv.stageB")
 	nz := len(l.keptZ)
 	if len(l.planesBuf) != n*n*nz {
@@ -312,11 +323,14 @@ func (l *Local) RunInto(subField *grid.Field, out *sample.Compressed) (*sample.C
 			return nil, st, err
 		}
 	}
-	l.hB.Observe(spanB.End())
+	spanB.End()
+	st.StageB = time.Since(tB)
+	l.hB.Observe(st.StageB)
 
 	// Stage C — inverse 2D transform of each kept plane, then gather the
 	// octree samples (the full 3D result is never materialized). Every
 	// sample slot is rewritten below, so a recycled output needs no zeroing.
+	tC := time.Now()
 	spanC := run.Start("conv.stageC")
 	if out == nil || out.Tree != l.tree || len(out.Samples) != l.tree.SampleCount() {
 		out = sample.NewCompressed(l.tree)
@@ -337,7 +351,9 @@ func (l *Local) RunInto(subField *grid.Field, out *sample.Compressed) (*sample.C
 	st.ModelBytes = 8 * n * n * k
 	st.PeakBytes = st.SlabBytes + st.PlanesBytes + st.SampleBytes
 	st.Compression = out.CompressionRatio()
-	l.hC.Observe(spanC.End())
+	spanC.End()
+	st.StageC = time.Since(tC)
+	l.hC.Observe(st.StageC)
 	if tr := l.cfg.Trace; tr != nil {
 		tr.Counter("conv.pencils").Add(int64(st.PencilCount))
 		tr.Counter("conv.samples").Add(int64(st.SampleCount))

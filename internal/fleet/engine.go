@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -12,6 +14,7 @@ import (
 	"lowcomm3d/internal/gpu"
 	"lowcomm3d/internal/green"
 	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/obs/jobtrace"
 	"lowcomm3d/internal/sample"
 )
 
@@ -48,6 +51,11 @@ type EngineOptions struct {
 	// HealthEvery is the health monitor cadence (≤0: 2ms). The monitor
 	// runs when Faults is set or HealthEvery is explicitly positive.
 	HealthEvery time.Duration
+
+	// Jobs, when non-nil, gives every Solve a lifecycle timeline: one
+	// traced job per solve, with each sub-domain task reporting placement,
+	// batching, recovery, and stage events onto it.
+	Jobs *jobtrace.Collector
 }
 
 // SolveStats summarizes one solve.
@@ -197,11 +205,24 @@ func (e *Engine) runDevice(di int) {
 	}
 }
 
-// runBatch executes one batch, consulting the fault schedule at the
-// three injection points. A runner only ever writes Result/Err on the
+// runBatch executes one batch under runtime/pprof labels (tenant,
+// trace_id from the head task) so CPU profiles of the fleet runners
+// attribute samples to tenants and job timelines. This path allocates
+// anyway (plans, scratch); the labels are not on serve's 0-alloc path.
+func (e *Engine) runBatch(di int, batch []*Task, seq uint64) {
+	labels := pprof.Labels(
+		"tenant", batch[0].Tenant,
+		"trace_id", strconv.FormatUint(uint64(batch[0].Job.ID()), 10))
+	pprof.Do(context.Background(), labels, func(context.Context) {
+		e.runBatchLabeled(di, batch, seq)
+	})
+}
+
+// runBatchLabeled executes one batch, consulting the fault schedule at
+// the three injection points. A runner only ever writes Result/Err on the
 // attempt objects it owns; delivery to the solve happens inside
 // Complete, under the scheduler mutex, first-result-wins.
-func (e *Engine) runBatch(di int, batch []*Task, seq uint64) {
+func (e *Engine) runBatchLabeled(di int, batch []*Task, seq uint64) {
 	t0 := time.Now()
 	f := e.opts.Faults
 	if e.injectFault(di, batch, f.At(di, seq, PointDispatch), t0) {
@@ -218,7 +239,7 @@ func (e *Engine) runBatch(di int, batch []*Task, seq uint64) {
 			t.Err = psErr
 			continue
 		}
-		t.Result, t.Err = e.runTask(ps, t)
+		t.Result, t.Err = e.runTask(ps, t, di)
 	}
 	if e.injectFault(di, batch, f.At(di, seq, PointCompletion), t0) {
 		return
@@ -251,7 +272,7 @@ func (e *Engine) injectFault(di int, batch []*Task, kind FaultKind, t0 time.Time
 	return false
 }
 
-func (e *Engine) runTask(ps *conv.PlanSet, t *Task) (*sample.Compressed, error) {
+func (e *Engine) runTask(ps *conv.PlanSet, t *Task, di int) (*sample.Compressed, error) {
 	tree, err := sample.DefaultPolicy(t.Box, e.far).Tree(e.dim)
 	if err != nil {
 		return nil, err
@@ -264,7 +285,12 @@ func (e *Engine) runTask(ps *conv.PlanSet, t *Task) (*sample.Compressed, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := local.Run(sub)
+	res, stats, err := local.Run(sub)
+	if err == nil {
+		t.Job.Stage("A", di, stats.StageA)
+		t.Job.Stage("B", di, stats.StageB)
+		t.Job.Stage("C", di, stats.StageC)
+	}
 	return res, err
 }
 
@@ -307,6 +333,8 @@ func (e *Engine) Solve(tenant string, f *grid.Field) (*grid.Field, SolveStats, e
 	if closed {
 		return nil, st, ErrClosed
 	}
+	tj := e.opts.Jobs.Start(tenant)
+	defer e.opts.Jobs.Finish(tj)
 	k, spill := e.pickK()
 	st.K = k
 	boxes, err := grid.Decompose(e.dim, k)
@@ -328,7 +356,9 @@ func (e *Engine) Solve(tenant string, f *grid.Field) (*grid.Field, SolveStats, e
 	if len(jobs) == 0 {
 		return grid.NewField(e.dim), st, nil
 	}
+	tj.Event(jobtrace.KindAdmit, -1, "", int64(len(jobs)))
 	if spill {
+		tj.Event(jobtrace.KindSpill, -1, "no-fit", 0)
 		return e.runSpill(f, jobs, k, &st)
 	}
 
@@ -339,7 +369,7 @@ func (e *Engine) Solve(tenant string, f *grid.Field) (*grid.Field, SolveStats, e
 	wg.Add(len(jobs))
 	for i, b := range jobs {
 		t := &tasks[i]
-		*t = Task{Tenant: tenant, K: k, Footprint: fp, Box: b, Input: f, Slot: i, wg: &wg, sink: sink}
+		*t = Task{Tenant: tenant, K: k, Footprint: fp, Box: b, Input: f, Slot: i, Job: tj, wg: &wg, sink: sink}
 		if _, err := e.sched.EnqueueBlocking(context.Background(), t); err != nil {
 			// Record the rejection in this slot and release its latch; the
 			// remaining jobs still try — the fleet may recover, or the
@@ -370,6 +400,7 @@ func (e *Engine) Solve(tenant string, f *grid.Field) (*grid.Field, SolveStats, e
 			// Every failure is a capacity loss the distributed path can
 			// absorb: recompute the whole solve there. Canonical-order
 			// assembly keeps the output byte-identical to a healthy fleet.
+			tj.Event(jobtrace.KindSpill, -1, "capacity-loss", 0)
 			return e.runSpill(f, jobs, k, &st)
 		}
 		return nil, st, firstErr

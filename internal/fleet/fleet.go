@@ -38,7 +38,9 @@ import (
 	"lowcomm3d/internal/gpu"
 	"lowcomm3d/internal/grid"
 	"lowcomm3d/internal/obs"
+	"lowcomm3d/internal/obs/jobtrace"
 	"lowcomm3d/internal/sample"
+	"lowcomm3d/internal/telemetry"
 )
 
 // ErrOverloaded is the sentinel matched by errors.Is for every admission
@@ -149,6 +151,11 @@ type Options struct {
 	Clock Clock
 	Log   *Log
 	Trace *obs.Trace
+
+	// Flight, when non-nil, receives device health transitions
+	// (suspect/dead/probation/healthy) on the device-index ring, so a
+	// flight-recorder postmortem names each device's last health event.
+	Flight *telemetry.Recorder
 }
 
 // DeviceStatus is one device's point-in-time view, surfaced through
@@ -180,6 +187,13 @@ type Task struct {
 	Box   grid.Box
 	Input *grid.Field // full field the runner extracts Box from
 	Slot  int         // result index within the owning solve
+
+	// Job, when non-nil, is the lifecycle timeline this task reports to:
+	// placement (with scored alternatives), queueing, batching, steals,
+	// hedges, retries, and recovery all land on it. Clones made by fault
+	// recovery inherit it, so one timeline follows the logical job across
+	// attempts. All jobtrace methods are nil-safe.
+	Job *jobtrace.Job
 
 	// Result and Err are written by the runner that executes the task.
 	// Exactly one goroutine — the runner owning this attempt — writes

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"lowcomm3d/internal/obs/jobtrace"
 	"lowcomm3d/internal/sample"
 )
 
@@ -190,6 +191,7 @@ func (s *Scheduler) CheckHealth(now time.Time) []int {
 			if len(d.running) > 0 && now.After(d.suspectAt) {
 				d.health = Suspect
 				s.cSuspect.Add(1)
+				s.flight.Health(i, "suspect", "missed batch deadline")
 				s.log.printf(now, "suspect dev=%d inflight=%d", i, len(d.running))
 				if !s.health.DisableHedge {
 					s.hedgeLocked(i, now)
@@ -198,6 +200,7 @@ func (s *Scheduler) CheckHealth(now time.Time) []int {
 		case Suspect:
 			if len(d.running) == 0 {
 				d.health = Healthy
+				s.flight.Health(i, "healthy", "in-flight drained")
 				s.log.printf(now, "recovered dev=%d", i)
 			} else if now.After(d.deadAt) {
 				s.declareDeadLocked(i, now, errDeviceHung)
@@ -258,12 +261,18 @@ func (s *Scheduler) Probe(di int, ok bool) {
 	}
 	now := s.clock.Now()
 	if !ok {
+		if d.health != Dead {
+			s.flight.Health(di, "dead", "readmission probe failed")
+		}
 		d.probeOKs = 0
 		d.health = Dead
 		s.log.printf(now, "probe dev=%d ok=false", di)
 		return
 	}
 	d.probeOKs++
+	if d.health != Probation {
+		s.flight.Health(di, "probation", "readmission probe succeeded")
+	}
 	d.health = Probation
 	s.log.printf(now, "probe dev=%d ok=true streak=%d", di, d.probeOKs)
 	if d.probeOKs >= s.health.ProbeSuccesses {
@@ -271,6 +280,7 @@ func (s *Scheduler) Probe(di int, ok bool) {
 		d.probeOKs = 0
 		d.reset = make(chan struct{})
 		s.cReadmit.Add(1)
+		s.flight.Health(di, "healthy", "probe streak readmitted")
 		s.log.printf(now, "readmit dev=%d", di)
 		s.admitOrphansLocked(now)
 		s.cond.Broadcast()
@@ -304,6 +314,11 @@ func (s *Scheduler) declareDeadLocked(di int, now time.Time, cause error) {
 	d.probeOKs = 0
 	d.nextProbe = now.Add(s.health.ProbeEvery)
 	s.cDead.Add(1)
+	detail := ""
+	if cause != nil {
+		detail = cause.Error()
+	}
+	s.flight.Health(di, "dead", detail)
 	s.log.printf(now, "dead dev=%d cause=%v inflight=%d queued=%d", di, cause, len(d.running), len(d.queue))
 	if d.reset != nil {
 		close(d.reset) // free a runner wedged on the hung batch
@@ -330,6 +345,7 @@ func (s *Scheduler) declareDeadLocked(di int, now time.Time, cause error) {
 		d.requeued++
 		s.cRequeued.Add(1)
 		s.orphans = append(s.orphans, t)
+		t.Job.Event(jobtrace.KindRequeue, di, "queued", int64(t.attempt))
 		s.log.printf(now, "requeue id=%d from=%d attempt=%d", t.ID, di, t.attempt)
 	}
 	d.queue = nil
@@ -350,12 +366,14 @@ func (s *Scheduler) requeueLocked(t *Task, now time.Time, cause error) {
 		s.cFailed.Add(1)
 		s.deliverLocked(t, nil, fmt.Errorf("%w: job %d after %d attempts: %v",
 			ErrRetriesExhausted, o.ID, attempt, cause), -1)
+		t.Job.Event(jobtrace.KindFail, -1, "retries-exhausted", int64(attempt))
 		s.log.printf(now, "fail id=%d attempts=%d", o.ID, attempt)
 		return
 	}
 	clone := s.cloneLocked(t, attempt)
 	s.orphans = append(s.orphans, clone)
 	s.cRequeued.Add(1)
+	t.Job.Event(jobtrace.KindRequeue, t.dev, "running", int64(attempt))
 	s.log.printf(now, "requeue id=%d as=%d attempt=%d", o.ID, clone.ID, attempt)
 }
 
@@ -366,7 +384,7 @@ func (s *Scheduler) cloneLocked(t *Task, attempt int) *Task {
 	s.nextID++
 	return &Task{
 		ID: s.nextID, Tenant: t.Tenant, K: t.K, Footprint: t.Footprint,
-		HomeBox: t.HomeBox, Box: t.Box, Input: t.Input, Slot: t.Slot,
+		HomeBox: t.HomeBox, Box: t.Box, Input: t.Input, Slot: t.Slot, Job: t.Job,
 		attempt: attempt, origin: t.root(), dev: -1,
 	}
 }
@@ -399,6 +417,7 @@ func (s *Scheduler) hedgeLocked(di int, now time.Time) {
 		s.devs[dj].queue = append(s.devs[dj].queue, clone)
 		o.hedge = clone
 		s.cHedged.Add(1)
+		t.Job.Event(jobtrace.KindHedge, dj, "", int64(di))
 		s.log.printf(now, "hedge id=%d as=%d from=%d to=%d", o.ID, clone.ID, di, dj)
 	}
 }
@@ -413,7 +432,8 @@ func (s *Scheduler) admitOrphansLocked(now time.Time) {
 		if t.done || o.delivered {
 			continue // resolved elsewhere (hedge landed, cancel, close)
 		}
-		di, _, fits := s.bestTriedLocked(t.K, t.Footprint, t.HomeBox, true, 0)
+		ex := s.explainFor(t.Job)
+		di, cost, fits := s.bestExplainLocked(t.K, t.Footprint, t.HomeBox, true, 0, ex)
 		if di < 0 {
 			if fits {
 				kept = append(kept, t) // capacity exists; wait for it to free
@@ -422,8 +442,10 @@ func (s *Scheduler) admitOrphansLocked(now time.Time) {
 			var err error
 			if s.liveLocked() == 0 {
 				err = s.fleetDeadLocked()
+				t.Job.Event(jobtrace.KindFail, -1, "fleet-dead", 0)
 			} else {
 				err = fmt.Errorf("%w: footprint %d fits no live device", ErrNoFit, t.Footprint)
+				t.Job.Event(jobtrace.KindFail, -1, "no-fit", 0)
 			}
 			t.done = true
 			s.cFailed.Add(1)
@@ -439,6 +461,7 @@ func (s *Scheduler) admitOrphansLocked(now time.Time) {
 		t.dev = di
 		s.devs[di].queue = append(s.devs[di].queue, t)
 		s.devs[di].gQueue.Max(int64(len(s.devs[di].queue)))
+		t.Job.Place(di, cost, ex)
 		s.log.printf(now, "replace id=%d dev=%d attempt=%d", t.ID, di, t.attempt)
 	}
 	for i := len(kept); i < len(s.orphans); i++ {

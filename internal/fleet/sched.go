@@ -9,6 +9,8 @@ import (
 
 	"lowcomm3d/internal/gpu"
 	"lowcomm3d/internal/obs"
+	"lowcomm3d/internal/obs/jobtrace"
+	"lowcomm3d/internal/telemetry"
 )
 
 // devState is one device's scheduler-side state. Everything is guarded
@@ -58,6 +60,13 @@ type Scheduler struct {
 
 	health  HealthOptions
 	orphans []*Task // tasks reclaimed from dead devices awaiting re-placement
+	flight  *telemetry.Recorder
+
+	// ex is the placement-explain scratch: filled under mu while scoring a
+	// traced placement, copied into the job's ring before the next
+	// decision reuses it. Keeping it here (not on the stack) keeps the
+	// allocation-free placement contract.
+	ex jobtrace.Explain
 
 	// Ledger audit (exactly-once release): admission adds to reserved,
 	// completion/cancellation to released; reservation migration during a
@@ -75,6 +84,7 @@ type Scheduler struct {
 	cSuspect, cDead, cProbes, cReadmit *obs.Counter
 	cRequeued, cHedged, cFailed        *obs.Counter
 	cLate, cTransient                  *obs.Counter
+	cPlacementRejects                  *obs.Counter
 }
 
 // NewScheduler validates the fleet and builds the scheduler.
@@ -102,6 +112,7 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 		log:        opts.Log,
 		tr:         opts.Trace,
 		health:     opts.Health.withDefaults(),
+		flight:     opts.Flight,
 	}
 	if s.far <= 0 {
 		s.far = 16
@@ -156,6 +167,7 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 	s.cFailed = s.tr.Counter("fleet.failed_jobs")
 	s.cLate = s.tr.Counter("fleet.late_results")
 	s.cTransient = s.tr.Counter("fleet.transient_retries")
+	s.cPlacementRejects = s.tr.Counter("fleet.placement_rejects")
 	return s, nil
 }
 
@@ -269,6 +281,15 @@ func (s *Scheduler) RetryAfter(di int) time.Duration {
 // hints). Every successful Place must be paired with exactly one
 // Release.
 func (s *Scheduler) Place(k int, footprint int64, homeBox int) (int, error) {
+	return s.PlaceTraced(k, footprint, homeBox, nil)
+}
+
+// PlaceTraced is Place recording the decision on a job timeline: the
+// winning device with its Eq. 2 cost, plus every scored or rejected
+// alternative (typed reject reasons), so each placement is explainable
+// after the fact. A nil job traces nothing; the hot path stays
+// allocation-free either way (the explain scratch lives in the scheduler).
+func (s *Scheduler) PlaceTraced(k int, footprint int64, homeBox int, j *jobtrace.Job) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -276,7 +297,8 @@ func (s *Scheduler) Place(k int, footprint int64, homeBox int) (int, error) {
 	}
 	var tried uint64
 	for {
-		di, _, _ := s.bestTriedLocked(k, footprint, homeBox, false, tried)
+		ex := s.explainFor(j)
+		di, cost, _ := s.bestExplainLocked(k, footprint, homeBox, false, tried, ex)
 		if di < 0 {
 			s.cRejected.Add(1)
 			return -1, s.overloadLocked(footprint, true)
@@ -289,40 +311,84 @@ func (s *Scheduler) Place(k int, footprint int64, homeBox int) (int, error) {
 		s.devs[di].inflight++
 		s.gInflight.Max(s.inflightLocked())
 		s.cPlaced.Add(1)
+		j.Place(di, cost, ex)
 		return di, nil
 	}
 }
 
+// explainFor resets and returns the scheduler's explain scratch for a
+// traced decision, nil for an untraced one (no wasted classification).
+func (s *Scheduler) explainFor(j *jobtrace.Job) *jobtrace.Explain {
+	if j == nil {
+		return nil
+	}
+	s.ex.Reset()
+	return &s.ex
+}
+
 // bestTriedLocked is bestLocked minus the devices in the tried bitmask.
-// Only Healthy devices are selectable; fits reports capacity over the
-// live fleet (Healthy or Suspect — suspects may recover), so a footprint
-// only a dead device could hold is a typed no-fit, not an eternal wait.
 func (s *Scheduler) bestTriedLocked(k int, footprint int64, homeBox int, forQueue bool, tried uint64) (int, float64, bool) {
+	return s.bestExplainLocked(k, footprint, homeBox, forQueue, tried, nil)
+}
+
+// bestExplainLocked selects the cheapest admissible device, classifying
+// every candidate it passes over: each rejection ticks the
+// fleet.placement_rejects counter with a typed reason (dead, probation,
+// no-fit, suspect, memory, queue-full), and — when ex is non-nil — lands
+// in the explain scratch alongside the scored losers' Eq. 2 costs. Only
+// Healthy devices are selectable; fits reports capacity over the live
+// fleet (Healthy or Suspect — suspects may recover), so a footprint only
+// a dead device could hold is a typed no-fit, not an eternal wait.
+func (s *Scheduler) bestExplainLocked(k int, footprint int64, homeBox int, forQueue bool, tried uint64, ex *jobtrace.Explain) (int, float64, bool) {
 	best, bestCost, fits := -1, 0.0, false
+	reject := func(i int, r jobtrace.Reject) {
+		s.cPlacementRejects.Add(1)
+		if ex != nil {
+			ex.Add(i, 0, r)
+		}
+	}
 	for i := range s.devs {
 		if tried&(1<<uint(i)) != 0 {
+			// A raced reservation retry, not a scheduling rejection: kept
+			// out of the reject counter, visible in the explain.
+			if ex != nil {
+				ex.Add(i, 0, jobtrace.RejectTried)
+			}
 			continue
 		}
 		d := &s.devs[i]
 		if d.health != Healthy && d.health != Suspect {
+			if d.health == Dead {
+				reject(i, jobtrace.RejectDead)
+			} else {
+				reject(i, jobtrace.RejectProbation)
+			}
 			continue
 		}
 		if footprint > d.dev.Capacity {
+			reject(i, jobtrace.RejectNoFit)
 			continue
 		}
 		fits = true
 		if d.health != Healthy {
+			reject(i, jobtrace.RejectSuspect)
 			continue
 		}
 		if footprint > d.dev.Free() {
+			reject(i, jobtrace.RejectMemory)
 			continue
 		}
 		if forQueue && len(d.queue) >= s.queueDepth {
+			reject(i, jobtrace.RejectQueueFull)
 			continue
 		}
 		c, err := s.costLocked(k, homeBox, i)
 		if err != nil {
+			reject(i, jobtrace.RejectNoFit)
 			continue
+		}
+		if ex != nil {
+			ex.Add(i, c, jobtrace.RejectNone)
 		}
 		if best < 0 || c < bestCost {
 			best, bestCost = i, c
@@ -428,7 +494,8 @@ func (s *Scheduler) enqueueLocked(t *Task) (int, error) {
 	}
 	var tried uint64
 	for {
-		di, cost, fits := s.bestTriedLocked(t.K, t.Footprint, t.HomeBox, true, tried)
+		ex := s.explainFor(t.Job)
+		di, cost, fits := s.bestExplainLocked(t.K, t.Footprint, t.HomeBox, true, tried, ex)
 		if di < 0 {
 			s.cRejected.Add(1)
 			if !fits {
@@ -457,6 +524,8 @@ func (s *Scheduler) enqueueLocked(t *Task) (int, error) {
 		s.devs[di].gQueue.Max(int64(len(s.devs[di].queue)))
 		s.gQueueAll.Max(s.queuedLocked())
 		s.cPlaced.Add(1)
+		t.Job.Place(di, cost, ex)
+		t.Job.Event(jobtrace.KindQueue, di, "", int64(len(s.devs[di].queue)))
 		s.log.printf(s.clock.Now(), "submit id=%d tenant=%s k=%d fp=%d dev=%d cost=%.6e",
 			t.ID, t.Tenant, t.K, t.Footprint, di, cost)
 		s.cond.Broadcast()
@@ -553,6 +622,9 @@ func (s *Scheduler) nextBatchLocked(di int, dst []*Task) []*Task {
 	d.queue = kept
 	d.inflight += len(batch)
 	d.running = append(d.running, batch...)
+	for _, t := range batch {
+		t.Job.Event(jobtrace.KindBatch, di, "", int64(len(batch)))
+	}
 	now := s.clock.Now()
 	s.armDeadlineLocked(di, len(batch), now)
 	s.gInflight.Max(s.inflightLocked())
@@ -600,6 +672,7 @@ func (s *Scheduler) stealLocked(di int) {
 		v.dev.Release(t.Footprint)
 		t.dev = di
 		s.devs[di].queue = append(s.devs[di].queue, t)
+		t.Job.Event(jobtrace.KindSteal, di, "", int64(victim))
 		moved++
 	}
 	for i := len(keep); i < len(v.queue); i++ {
@@ -648,6 +721,11 @@ func (s *Scheduler) Complete(di int, batch []*Task, d time.Duration) {
 		removeRunning(&s.devs[t.dev], t)
 		s.cCompleted.Add(1)
 		if s.deliverLocked(t, t.Result, t.Err, di) {
+			if t.Err != nil {
+				t.Job.Event(jobtrace.KindFail, di, "compute", 0)
+			} else {
+				t.Job.Event(jobtrace.KindComplete, di, "", 0)
+			}
 			// This attempt won its slot: a still-pending hedge of the
 			// same root is wasted work — take it back out of the queue.
 			s.cancelCloneLocked(t.root().hedge)
@@ -656,6 +734,7 @@ func (s *Scheduler) Complete(di int, batch []*Task, d time.Duration) {
 	dv := &s.devs[di]
 	if dv.health == Suspect && len(dv.running) == 0 {
 		dv.health = Healthy
+		s.flight.Health(di, "healthy", "suspect batch completed")
 		s.log.printf(now, "recovered dev=%d", di)
 	}
 	s.observeLocked(di, per)
@@ -707,11 +786,13 @@ func (s *Scheduler) FailBatch(di int, batch []*Task, cause error, d time.Duratio
 		}
 		removeRunning(&s.devs[t.dev], t)
 		s.cTransient.Add(1)
+		t.Job.Event(jobtrace.KindRetry, di, "", int64(t.attempt+1))
 		s.requeueLocked(t, now, cause)
 	}
 	dv := &s.devs[di]
 	if dv.health == Suspect && len(dv.running) == 0 {
 		dv.health = Healthy
+		s.flight.Health(di, "healthy", "suspect batch resolved")
 		s.log.printf(now, "recovered dev=%d", di)
 	}
 	if d > 0 {
@@ -743,6 +824,7 @@ func (s *Scheduler) CancelQueued(id uint64) bool {
 			s.releasedBytes += t.Footprint
 			s.cCancelled.Add(1)
 			s.deliverLocked(t, nil, context.Canceled, -1)
+			t.Job.Event(jobtrace.KindFail, i, "cancelled", 0)
 			s.log.printf(s.clock.Now(), "cancel id=%d dev=%d", id, i)
 			return true
 		}
@@ -757,6 +839,7 @@ func (s *Scheduler) CancelQueued(id uint64) bool {
 		t.done = true // orphans hold no reservation: nothing to release
 		s.cCancelled.Add(1)
 		s.deliverLocked(t, nil, context.Canceled, -1)
+		t.Job.Event(jobtrace.KindFail, -1, "cancelled", 0)
 		s.log.printf(s.clock.Now(), "cancel id=%d orphan", id)
 		return true
 	}

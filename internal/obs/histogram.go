@@ -131,6 +131,17 @@ type HistogramSnapshot struct {
 	Buckets []HistogramBucket // non-empty buckets, ascending upper bound
 }
 
+// Snapshot captures the histogram's current state under the given name.
+// Nil-safe: a nil histogram snapshots as empty. This is the bridge for
+// histograms that live outside a Trace registry (e.g. per-tenant phase
+// histograms) to reach the same exporters.
+func (h *Histogram) Snapshot(name string) HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{Name: name}
+	}
+	return h.snapshot(name)
+}
+
 // snapshot captures the histogram's current state.
 func (h *Histogram) snapshot(name string) HistogramSnapshot {
 	s := HistogramSnapshot{Name: name, Count: h.count.Load(), SumNs: h.sum.Load()}

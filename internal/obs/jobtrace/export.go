@@ -1,0 +1,134 @@
+package jobtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent mirrors the Chrome trace-event JSON shape used by
+// obs.WriteChromeTrace (chrome://tracing, Perfetto "legacy JSON"). "X" is
+// a complete event, "i" an instant, "M" metadata.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Scope string         `json:"s,omitempty"`
+	Ts    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const (
+	pidJobs    = 1 // each job is a track (tid = trace ID)
+	pidDevices = 2 // each fleet device is a lane (tid = device index)
+)
+
+func usSince(base time.Time, start time.Time, at int64) float64 {
+	return float64(start.Sub(base)+time.Duration(at)) / float64(time.Microsecond)
+}
+
+// WriteChromeTrace exports every retained timeline in Chrome trace-event
+// JSON: each job is a track under the "jobs" process whose phase spans
+// (place/queue/compute/stream) show where the latency went, and each fleet
+// device is a lane under the "fleet devices" process collecting the
+// device-bound instants (placement, batch, steal, hedge, stages). Load at
+// chrome://tracing or https://ui.perfetto.dev. Nil-safe.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	jobs := c.Jobs()
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].TraceID < jobs[k].TraceID })
+	var base time.Time
+	for _, j := range jobs {
+		if base.IsZero() || j.Start.Before(base) {
+			base = j.Start
+		}
+	}
+	out.TraceEvents = append(out.TraceEvents,
+		chromeEvent{Name: "process_name", Phase: "M", Pid: pidJobs,
+			Args: map[string]any{"name": "jobs"}},
+		chromeEvent{Name: "process_name", Phase: "M", Pid: pidDevices,
+			Args: map[string]any{"name": "fleet devices"}},
+	)
+	devSeen := map[int32]bool{}
+	for _, j := range jobs {
+		tid := int(j.TraceID)
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", Pid: pidJobs, Tid: tid,
+			Args: map[string]any{"name": fmt.Sprintf("job %d [%s]", j.TraceID, j.Tenant)},
+		})
+		if p := j.Phases; p != nil {
+			marks := []struct {
+				name  string
+				start int64
+				dur   int64
+			}{
+				{"place", 0, p.PlaceNs},
+				{"queue", p.PlaceNs, p.QueueNs},
+				{"compute", p.PlaceNs + p.QueueNs, p.ComputeNs},
+				{"stream", p.PlaceNs + p.QueueNs + p.ComputeNs, p.StreamNs},
+			}
+			for _, m := range marks {
+				if m.dur <= 0 {
+					continue
+				}
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: m.name, Phase: "X",
+					Ts:  usSince(base, j.Start, m.start),
+					Dur: float64(m.dur) / float64(time.Microsecond),
+					Pid: pidJobs, Tid: tid,
+				})
+			}
+		}
+		for _, e := range j.Events {
+			args := map[string]any{"seq": e.Seq}
+			if e.Label != "" {
+				args["label"] = e.Label
+			}
+			if e.Arg != 0 {
+				args["arg"] = e.Arg
+			}
+			if e.Cost != 0 {
+				args["cost_sec"] = e.Cost
+			}
+			if e.Dev >= 0 {
+				args["dev"] = e.Dev
+			}
+			for i, cand := range e.Candidates {
+				args[fmt.Sprintf("cand_%d", i)] = fmt.Sprintf(
+					"dev=%d cost=%g %s", cand.Dev, cand.Cost, cand.Reject)
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: e.Kind, Phase: "i", Scope: "t",
+				Ts:  usSince(base, j.Start, e.AtNs),
+				Pid: pidJobs, Tid: tid, Args: args,
+			})
+			if e.Dev >= 0 {
+				if !devSeen[e.Dev] {
+					devSeen[e.Dev] = true
+					out.TraceEvents = append(out.TraceEvents, chromeEvent{
+						Name: "thread_name", Phase: "M", Pid: pidDevices, Tid: int(e.Dev),
+						Args: map[string]any{"name": fmt.Sprintf("device %d", e.Dev)},
+					})
+				}
+				out.TraceEvents = append(out.TraceEvents, chromeEvent{
+					Name: e.Kind, Phase: "i", Scope: "t",
+					Ts:  usSince(base, j.Start, e.AtNs),
+					Pid: pidDevices, Tid: int(e.Dev),
+					Args: map[string]any{"trace_id": j.TraceID, "tenant": j.Tenant},
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

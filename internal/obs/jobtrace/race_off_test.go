@@ -1,0 +1,5 @@
+//go:build !race
+
+package jobtrace
+
+const raceEnabled = false

@@ -8,6 +8,7 @@ import (
 	"lowcomm3d/internal/gpu"
 	"lowcomm3d/internal/green"
 	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/obs/jobtrace"
 	"lowcomm3d/internal/sample"
 )
 
@@ -68,4 +69,40 @@ func BenchmarkServeSteadyState(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkJobTraceOverhead is the warm serve path with per-job lifecycle
+// tracing enabled — same shape as BenchmarkServeSteadyState/warm, plus a
+// jobtrace collector. CI gates allocs/op at zero via benchdiff: the
+// timeline (pooled jobs, bounded event rings, static labels) must not
+// put an allocation back on the warm path.
+func BenchmarkJobTraceOverhead(b *testing.B) {
+	dim := grid.Cube(32)
+	box := grid.CubeAt(grid.Point{8, 8, 8}, 8)
+	in := testField(8, 42)
+	e, err := New(Options{
+		Dim: dim, Kernel: green.Gaussian{Sigma: 1.5}, FarRate: 8, Workers: 1,
+		Device: gpu.V100_16GB(),
+		Jobs:   jobtrace.NewCollector(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Drain()
+	for i := 0; i < 3; i++ {
+		res, err := e.Submit(context.Background(), "bench", box, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Submit(context.Background(), "bench", box, in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Release()
+	}
 }

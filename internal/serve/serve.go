@@ -27,6 +27,7 @@ import (
 	"lowcomm3d/internal/green"
 	"lowcomm3d/internal/grid"
 	"lowcomm3d/internal/obs"
+	"lowcomm3d/internal/obs/jobtrace"
 	"lowcomm3d/internal/sample"
 )
 
@@ -63,6 +64,15 @@ type Options struct {
 	// Trace receives the engine's counters, gauges, and histograms
 	// (serve.*); nil creates a private trace (see Engine.Trace).
 	Trace *obs.Trace
+
+	// Jobs, when non-nil, collects a per-job lifecycle timeline for every
+	// Submit: admission, placement (with scored alternatives), queueing,
+	// dequeue, compute stages, and completion, keyed by a TraceID. A job
+	// arriving with a timeline already in its context (the wire layer's)
+	// is threaded through unchanged; otherwise the engine starts one per
+	// Submit and finishes it when the submitter is done. Tracing keeps the
+	// warm path allocation-free (pooled event rings).
+	Jobs *jobtrace.Collector
 
 	// TracePipelines additionally attaches the trace to every conv
 	// pipeline (per-stage spans and histograms). Span recording allocates
@@ -109,6 +119,8 @@ type task struct {
 	input     *grid.Field
 	footprint int64
 	dev       int // fleet device holding the reservation (-1: none)
+	job       *jobtrace.Job
+	jobOwned  bool // engine started the timeline (vs adopted from ctx)
 	enq       time.Time
 	res       Result
 	err       error
@@ -132,6 +144,7 @@ type Engine struct {
 	cfg      conv.Config                 // per-pipeline config (workers, pruned, optional trace)
 	sched    *fleet.Scheduler            // nil when no devices are configured
 	tr       *obs.Trace
+	jobs     *jobtrace.Collector // nil: no lifecycle timelines
 	plans    *planCache
 	pipes    *pipeCache
 	workers  int
@@ -179,6 +192,7 @@ func New(opts Options) (*Engine, error) {
 		dim:      d,
 		far:      opts.FarRate,
 		tr:       opts.Trace,
+		jobs:     opts.Jobs,
 		workers:  opts.Workers,
 		maxQueue: opts.QueueDepth,
 		tenants:  make(map[string]*tenantQueue),
@@ -261,6 +275,11 @@ func New(opts Options) (*Engine, error) {
 // server or snapshotting in tests.
 func (e *Engine) Trace() *obs.Trace { return e.tr }
 
+// Jobs returns the engine's lifecycle-timeline collector (nil when the
+// engine was built without one), for mounting on a telemetry server or
+// exporting Chrome traces.
+func (e *Engine) Jobs() *jobtrace.Collector { return e.jobs }
+
 // QueueDepth returns the number of admitted jobs not yet picked up.
 func (e *Engine) QueueDepth() int {
 	e.mu.Lock()
@@ -319,14 +338,29 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 	depth := e.queued
 	e.mu.Unlock()
 
+	// Lifecycle timeline: adopt one threaded through ctx (the wire
+	// layer's — it echoes the TraceID to the client and finishes the
+	// job), else start an engine-owned one, finished on recycle.
+	j := jobtrace.FromContext(ctx)
+	jobOwned := false
+	if j == nil && e.jobs != nil {
+		j = e.jobs.Start(tenant)
+		jobOwned = true
+	}
+	j.Event(jobtrace.KindAdmit, -1, "", int64(depth))
+
 	dev := -1
 	if e.sched != nil {
-		di, err := e.sched.Place(s[0], fp, 0)
+		di, err := e.sched.PlaceTraced(s[0], fp, 0, j)
 		if err != nil {
 			e.mu.Lock()
 			e.queued--
 			e.mu.Unlock()
 			e.cRejected.Add(1)
+			j.Event(jobtrace.KindFail, -1, "admission", 0)
+			if jobOwned {
+				e.jobs.Finish(j)
+			}
 			if errors.Is(err, fleet.ErrFleetDead) {
 				// Not an overload: no retry hint helps a fleet with zero
 				// live devices. Pass the typed error through so wire can
@@ -354,6 +388,7 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 	t := e.taskPool.Get().(*task)
 	t.box, t.input, t.footprint, t.enq = box, input, fp, time.Now()
 	t.dev = dev
+	t.job, t.jobOwned = j, jobOwned
 	t.ctx = ctx
 
 	e.mu.Lock()
@@ -363,6 +398,7 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 		e.queued--
 		e.mu.Unlock()
 		e.releaseDev(t)
+		j.Event(jobtrace.KindFail, -1, "closed", 0)
 		e.recycle(t)
 		return Result{}, ErrClosed
 	}
@@ -382,6 +418,7 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 	e.cond.Signal()
 	e.mu.Unlock()
 	e.cSubmitted.Add(1)
+	j.Event(jobtrace.KindQueue, dev, "", int64(depth))
 
 	if done := ctx.Done(); done != nil {
 		select {
@@ -392,6 +429,7 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 				// reservation, and the task, and wake any blocked tenant.
 				e.releaseDev(t)
 				e.cCancelled.Add(1)
+				j.Event(jobtrace.KindFail, -1, "cancelled", 0)
 				e.recycle(t)
 				return Result{}, ctx.Err()
 			}
@@ -441,8 +479,14 @@ func (e *Engine) removeQueued(t *task) bool {
 }
 
 // recycle clears a task's per-job state and returns it to the pool; the
-// done channel is kept.
+// done channel is kept. An engine-owned timeline is finished here — the
+// last point every Submit path (success, rejection, cancel, drain race)
+// funnels through, so the stream phase covers the submitter's pickup.
 func (e *Engine) recycle(t *task) {
+	if t.jobOwned {
+		e.jobs.Finish(t.job)
+	}
+	t.job, t.jobOwned = nil, false
 	t.next, t.tq, t.input, t.ctx = nil, nil, nil, nil
 	t.res, t.err = Result{}, nil
 	t.dev = -1
@@ -552,9 +596,11 @@ func (e *Engine) runJob(t *task) {
 		t.err = err
 		e.cCancelled.Add(1)
 		e.releaseDev(t)
+		t.job.Event(jobtrace.KindFail, -1, "cancelled", 0)
 		t.done <- struct{}{}
 		return
 	}
+	t.job.Event(jobtrace.KindDequeue, t.dev, "", 0)
 	e.hWait.Observe(time.Since(t.enq))
 	e.gBusy.Max(e.busy.Add(1))
 	if h := e.testHookStart; h != nil {
@@ -567,16 +613,23 @@ func (e *Engine) runJob(t *task) {
 	e.execute(t)
 	d := time.Since(start)
 	e.observeDuration(d)
-	if e.sched != nil && t.dev >= 0 {
+	dev := t.dev
+	if e.sched != nil && dev >= 0 {
 		// Per-device EWMA: the duration feeds the device that ran the
 		// job, so RetryAfter hints reflect that device's latency rather
 		// than a fleet-wide blend.
-		e.sched.Observe(t.dev, d)
+		e.sched.Observe(dev, d)
 	}
 	e.busy.Add(-1)
 	e.releaseDev(t)
 	if t.err == nil {
 		e.cCompleted.Add(1)
+		t.job.Stage("A", dev, t.res.Stats.StageA)
+		t.job.Stage("B", dev, t.res.Stats.StageB)
+		t.job.Stage("C", dev, t.res.Stats.StageC)
+		t.job.Event(jobtrace.KindComplete, dev, "", 0)
+	} else {
+		t.job.Event(jobtrace.KindFail, dev, "compute", 0)
 	}
 	t.done <- struct{}{} // t belongs to the submitter from here on
 }

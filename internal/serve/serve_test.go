@@ -12,6 +12,7 @@ import (
 	"lowcomm3d/internal/gpu"
 	"lowcomm3d/internal/green"
 	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/obs/jobtrace"
 	"lowcomm3d/internal/sample"
 )
 
@@ -86,7 +87,9 @@ func TestSubmitMatchesDirectPipeline(t *testing.T) {
 // TestWarmSubmitZeroAllocs is the tentpole acceptance test: once a shape
 // has been served, Submit borrows cached plans, pooled pipeline state,
 // and a recycled output arena — zero heap allocations per warm job,
-// measured across the submitting and worker goroutines.
+// measured across the submitting and worker goroutines. Job tracing is
+// ON: the lifecycle timeline (pooled event rings, static labels) must
+// not cost the warm path a single allocation.
 func TestWarmSubmitZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race-detector instrumentation allocates; the 0-alloc claim is asserted by the non-race suite and BenchmarkServeSteadyState")
@@ -96,6 +99,7 @@ func TestWarmSubmitZeroAllocs(t *testing.T) {
 	in := testField(8, 7)
 	e := testEngine(t, Options{
 		Dim: dim, Workers: 1, Device: gpu.V100_16GB(),
+		Jobs: jobtrace.NewCollector(),
 	})
 	for i := 0; i < 5; i++ { // warm plans, pools, tenant queue, task pool
 		res, err := e.Submit(context.Background(), "tenant", box, in)
@@ -487,5 +491,77 @@ func TestUpdateKernelInvalidatesPipelines(t *testing.T) {
 	// Old and new kernel generations occupy distinct cache entries.
 	if got := e.pipes.len(); got != 2 {
 		t.Errorf("pipeline cache holds %d entries, want 2 (one per kernel generation)", got)
+	}
+}
+
+// TestJobTimelinePhaseDecomposition pins the tenant SLO breakdown: with
+// tracing on, every finished job's per-tenant phase histograms (place,
+// queue, compute, stream) partition its end-to-end latency exactly, the
+// collector's e2e sum stays within tolerance of externally measured
+// latency, and each timeline carries the full request lifecycle.
+func TestJobTimelinePhaseDecomposition(t *testing.T) {
+	dim := grid.Cube(32)
+	box := grid.CubeAt(grid.Point{8, 8, 8}, 8)
+	in := testField(8, 11)
+	col := jobtrace.NewCollector()
+	e := testEngine(t, Options{Dim: dim, Workers: 2, Device: gpu.V100_16GB(), Jobs: col})
+
+	const perTenant = 4
+	var measured time.Duration
+	for i := 0; i < perTenant; i++ {
+		for _, tenant := range []string{"acme", "beta"} {
+			start := time.Now()
+			res, err := e.Submit(context.Background(), tenant, box, in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res.Release()
+			measured += time.Since(start)
+		}
+	}
+
+	phases := col.PhaseSnapshots()
+	if len(phases) != 2 {
+		t.Fatalf("PhaseSnapshots has %d tenants, want 2: %+v", len(phases), phases)
+	}
+	var e2eSum, partSum int64
+	for _, p := range phases {
+		if p.E2E.Count != perTenant {
+			t.Errorf("tenant %s e2e count = %d, want %d", p.Tenant, p.E2E.Count, perTenant)
+		}
+		e2eSum += p.E2E.SumNs
+		partSum += p.Place.SumNs + p.Queue.SumNs + p.Compute.SumNs + p.Stream.SumNs
+	}
+	if e2eSum != partSum {
+		t.Errorf("phase sums leak: e2e %dns, place+queue+compute+stream %dns", e2eSum, partSum)
+	}
+	if e2eSum <= 0 || time.Duration(e2eSum) > measured {
+		t.Errorf("collector e2e %v outside (0, measured %v]", time.Duration(e2eSum), measured)
+	}
+	if gap := measured - time.Duration(e2eSum); gap > 500*time.Millisecond {
+		t.Errorf("collector e2e %v trails measured %v by %v", time.Duration(e2eSum), measured, gap)
+	}
+
+	done := 0
+	for _, js := range col.Jobs() {
+		if !js.Done {
+			continue
+		}
+		done++
+		kinds := map[string]bool{}
+		for _, ev := range js.Events {
+			kinds[ev.Kind] = true
+		}
+		for _, k := range []string{"admit", "place", "queue", "dequeue", "stage", "complete"} {
+			if !kinds[k] {
+				t.Errorf("job %d timeline missing %q (kinds %v)", js.TraceID, k, kinds)
+			}
+		}
+		if js.Phases == nil {
+			t.Errorf("job %d finished without a phase decomposition", js.TraceID)
+		}
+	}
+	if done != 2*perTenant {
+		t.Errorf("collector retains %d finished jobs, want %d", done, 2*perTenant)
 	}
 }

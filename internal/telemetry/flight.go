@@ -27,6 +27,10 @@ const (
 	// EventCrash is a worker death: an injected transport crash, a retry
 	// exhaustion, or a heartbeat-monitor kill.
 	EventCrash
+	// EventHealth is a fleet device supervision transition
+	// (healthy/suspect/dead/probation), recorded on the device's ring so a
+	// postmortem names the last health event before an incident.
+	EventHealth
 )
 
 func (k EventKind) String() string {
@@ -43,6 +47,8 @@ func (k EventKind) String() string {
 		return "span"
 	case EventCrash:
 		return "CRASH"
+	case EventHealth:
+		return "health"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -205,6 +211,13 @@ func (r *Recorder) Crash(rank int, op string, err error) {
 	r.Record(Event{Kind: EventCrash, Rank: rank, Iter: -1, Op: op, Detail: detail})
 }
 
+// Health records a fleet device supervision transition on the device's
+// ring (rank = device index): state is the new Health state name, detail
+// the transition cause. Nil-safe.
+func (r *Recorder) Health(rank int, state, detail string) {
+	r.Record(Event{Kind: EventHealth, Rank: rank, Iter: -1, Op: state, Detail: detail})
+}
+
 // Note records a free-form annotation on a rank's ring. Nil-safe.
 func (r *Recorder) Note(rank int, text string) {
 	r.Record(Event{Kind: EventNote, Rank: rank, Iter: -1, Op: text})
@@ -218,6 +231,7 @@ type RankSummary struct {
 	LastHeartbeat  *Event // nil if none retained
 	LastCollective *Event
 	LastCheckpoint *Event
+	LastHealth     *Event // last fleet health transition (suspect/dead/…)
 	Crash          *Event
 }
 
@@ -240,6 +254,8 @@ func (r *Recorder) Summary() []RankSummary {
 				s.LastCollective = ev
 			case EventCheckpoint:
 				s.LastCheckpoint = ev
+			case EventHealth:
+				s.LastHealth = ev
 			case EventCrash:
 				s.Crash = ev
 			}
@@ -275,6 +291,12 @@ func (r *Recorder) WritePostmortem(w io.Writer) error {
 			return fmt.Sprintf("iter=%d (%d B) at t=%s", ev.Iter, ev.Bytes, ev.At.Round(time.Microsecond))
 		case EventCrash:
 			return fmt.Sprintf("in %s at t=%s: %s", ev.Op, ev.At.Round(time.Microsecond), ev.Detail)
+		case EventHealth:
+			s := fmt.Sprintf("%s at t=%s", ev.Op, ev.At.Round(time.Microsecond))
+			if ev.Detail != "" {
+				s += " — " + ev.Detail
+			}
+			return s
 		default:
 			return ev.format()
 		}
@@ -288,6 +310,11 @@ func (r *Recorder) WritePostmortem(w io.Writer) error {
 			"rank %d: %s\n  last heartbeat:  %s\n  last collective: %s\n  last checkpoint: %s\n",
 			s.Rank, status, evDesc(s.LastHeartbeat), evDesc(s.LastCollective), evDesc(s.LastCheckpoint)); err != nil {
 			return err
+		}
+		if s.LastHealth != nil {
+			if _, err := fmt.Fprintf(w, "  last health:     %s\n", evDesc(s.LastHealth)); err != nil {
+				return err
+			}
 		}
 	}
 	for rank, rg := range r.rings {

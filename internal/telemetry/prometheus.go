@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"lowcomm3d/internal/obs"
+	"lowcomm3d/internal/obs/jobtrace"
 )
 
 // namePrefix namespaces every exported series; a scrape of a lowcomm3d
@@ -108,6 +109,7 @@ var helpText = map[string]string{
 	"wire.client.restarts":           "Client jobs restarted from byte zero because the server no longer held the session.",
 	"wire.client.jobs_completed":     "Client jobs that returned a fully assembled, CRC-verified result.",
 	"wire.client.frames_corrupt":     "Inbound frames or chunks the client rejected as corrupt before resuming.",
+	"fleet.placement_rejects":        "Placement candidates rejected while scoring a job against the fleet (typed per-candidate reasons - tried, dead, probation, suspect, no-fit, memory, queue-full - recorded on the job's timeline with the losing Eq. 2 costs).",
 }
 
 // MetricName converts an obs registry name to its exported Prometheus
@@ -200,6 +202,59 @@ func WriteTraceMetrics(w io.Writer, tr *obs.Trace) error {
 		p.printf("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
 		p.printf("%s_sum %g\n", name, float64(h.SumNs)/1e9)
 		p.printf("%s_count %d\n", name, h.Count)
+	}
+	return p.err
+}
+
+// jobPhaseName is the exported series for the per-tenant SLO breakdown:
+// one histogram family, labeled {tenant, phase}, where the four phase
+// series (place, queue, compute, stream) sum to the e2e series exactly —
+// the per-job clamp chain in jobtrace guarantees the partition, so a
+// dashboard can stack the phases against the end-to-end latency without
+// residuals.
+const jobPhaseName = namePrefix + "job_phase_seconds"
+
+const jobPhaseHelp = "Per-tenant decomposition of served-job end-to-end latency into lifecycle phases " +
+	"(phase=e2e|place|queue|compute|stream; the four component phases partition e2e exactly). " +
+	"Place is the Eq. 2 cost-model scoring window, compute spans the stage A/B/C pipeline of section 5.1."
+
+// writeHistogramSeries emits one labeled histogram's bucket/sum/count
+// lines (cumulative `le` buckets, seconds).
+func (p *promWriter) writeHistogramSeries(name, labels string, h obs.HistogramSnapshot) {
+	var cum int64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		p.printf("%s_bucket{%s,le=\"%g\"} %d\n", name, labels, float64(b.UpperNs)/1e9, cum)
+	}
+	p.printf("%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, h.Count)
+	p.printf("%s_sum{%s} %g\n", name, labels, float64(h.SumNs)/1e9)
+	p.printf("%s_count{%s} %d\n", name, labels, h.Count)
+}
+
+// WriteJobPhaseMetrics renders the jobtrace collector's per-tenant phase
+// histograms as one Prometheus histogram family labeled {tenant, phase}.
+// Nil-safe: a nil collector (or one with no finished jobs) writes nothing,
+// so the exposition stays valid when tracing is off.
+func WriteJobPhaseMetrics(w io.Writer, c *jobtrace.Collector) error {
+	phases := c.PhaseSnapshots()
+	if len(phases) == 0 {
+		return nil
+	}
+	p := &promWriter{w: w, seen: map[string]bool{}}
+	p.family(jobPhaseName, jobPhaseHelp, "histogram")
+	for _, t := range phases {
+		for _, ph := range []struct {
+			phase string
+			h     obs.HistogramSnapshot
+		}{
+			{"e2e", t.E2E}, {"place", t.Place}, {"queue", t.Queue},
+			{"compute", t.Compute}, {"stream", t.Stream},
+		} {
+			// %q's Go escaping (\\, \", \n) matches Prometheus label
+			// escaping exactly.
+			labels := fmt.Sprintf("tenant=%q,phase=%q", t.Tenant, ph.phase)
+			p.writeHistogramSeries(jobPhaseName, labels, ph.h)
+		}
 	}
 	return p.err
 }

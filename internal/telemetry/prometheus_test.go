@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"lowcomm3d/internal/obs"
+	"lowcomm3d/internal/obs/jobtrace"
 )
 
 func TestMetricNameStable(t *testing.T) {
@@ -254,6 +255,94 @@ func TestCombinedExpositionNoDuplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	lintExposition(t, buf.String())
+}
+
+// TestJobTraceMetricsDocumented pins the tracing additions to the HELP
+// catalogue: the typed placement-reject counter and the job-phase family
+// must ship with model-anchored documentation.
+func TestJobTraceMetricsDocumented(t *testing.T) {
+	help, ok := helpText["fleet.placement_rejects"]
+	if !ok || strings.TrimSpace(help) == "" {
+		t.Fatalf("fleet.placement_rejects HELP missing or empty: %q", help)
+	}
+	for _, reason := range []string{"tried", "dead", "probation", "suspect", "no-fit", "memory", "queue-full"} {
+		if !strings.Contains(help, reason) {
+			t.Errorf("placement_rejects HELP does not document reject reason %q", reason)
+		}
+	}
+	if strings.TrimSpace(jobPhaseHelp) == "" {
+		t.Fatal("job phase family HELP is empty")
+	}
+	for _, phase := range []string{"e2e", "place", "queue", "compute", "stream"} {
+		if !strings.Contains(jobPhaseHelp, phase) {
+			t.Errorf("job phase HELP does not document phase %q", phase)
+		}
+	}
+	if jobPhaseName != "lowcomm_job_phase_seconds" {
+		t.Fatalf("job phase family renamed to %q; dashboards reference lowcomm_job_phase_seconds", jobPhaseName)
+	}
+}
+
+// TestWriteJobPhaseMetricsExposition drives real jobs through a collector
+// and lints the labeled histogram family, checking the partition contract
+// at the exposition level: per tenant, the four phase sums add up to the
+// e2e sum.
+func TestWriteJobPhaseMetricsExposition(t *testing.T) {
+	col := jobtrace.NewCollector()
+	for _, tenant := range []string{"acme", "zeta"} {
+		for i := 0; i < 3; i++ {
+			j := col.Start(tenant)
+			j.Event(jobtrace.KindAdmit, -1, "", 0)
+			j.Place(0, 1.5, nil)
+			j.Event(jobtrace.KindQueue, 0, "", 1)
+			time.Sleep(time.Millisecond)
+			j.Event(jobtrace.KindDequeue, 0, "", 0)
+			time.Sleep(time.Millisecond)
+			j.Event(jobtrace.KindComplete, 0, "", 0)
+			col.Finish(j)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteJobPhaseMetrics(&buf, col); err != nil {
+		t.Fatal(err)
+	}
+	families, series := lintExposition(t, buf.String())
+	if families[jobPhaseName] != "histogram" {
+		t.Fatalf("job phase family = %q, want histogram", families[jobPhaseName])
+	}
+	for _, tenant := range []string{"acme", "zeta"} {
+		e2e := series[jobPhaseName+`_sum{tenant="`+tenant+`",phase="e2e"}`]
+		if e2e <= 0 {
+			t.Fatalf("tenant %s: e2e sum = %v, want > 0", tenant, e2e)
+		}
+		var parts float64
+		for _, phase := range []string{"place", "queue", "compute", "stream"} {
+			key := jobPhaseName + `_sum{tenant="` + tenant + `",phase="` + phase + `"}`
+			parts += series[key]
+			if c := series[jobPhaseName+`_count{tenant="`+tenant+`",phase="`+phase+`"}`]; c != 3 {
+				t.Fatalf("tenant %s phase %s count = %v, want 3", tenant, phase, c)
+			}
+		}
+		if diff := parts - e2e; diff < -1e-6 || diff > 1e-6 {
+			t.Fatalf("tenant %s: phase sums %v != e2e sum %v; the partition leaked", tenant, parts, e2e)
+		}
+	}
+}
+
+// TestWriteJobPhaseMetricsNil checks the off switch: no collector (or an
+// idle one) must write nothing, keeping /metrics valid when tracing is
+// disabled.
+func TestWriteJobPhaseMetricsNil(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJobPhaseMetrics(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJobPhaseMetrics(&buf, jobtrace.NewCollector()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("idle collectors wrote %q", buf.String())
+	}
 }
 
 // TestFleetHealthMetricsDocumented pins HELP text for every fault-

@@ -7,9 +7,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"time"
 
 	"lowcomm3d/internal/obs"
+	"lowcomm3d/internal/obs/jobtrace"
 )
 
 // Server is a running telemetry HTTP endpoint. Close shuts it down.
@@ -44,6 +47,18 @@ func (s *Server) Close() error {
 // scrape in flight while Close is called.
 var metricsMidwrite func()
 
+// ServeConfig names the telemetry sources a Server exposes. Every field
+// is optional; endpoints degrade gracefully when their source is nil.
+type ServeConfig struct {
+	// Trace feeds /metrics (counters, gauges, latency histograms).
+	Trace *obs.Trace
+	// Flight feeds /flight (live postmortem) and /healthz's rank count.
+	Flight *Recorder
+	// Jobs feeds /jobs, /jobs/{trace_id}, and the per-tenant
+	// lowcomm_job_phase_seconds family appended to /metrics.
+	Jobs *jobtrace.Collector
+}
+
 // Serve binds addr (":8080", "127.0.0.1:0", …) and serves the live
 // telemetry endpoints in a background goroutine:
 //
@@ -54,8 +69,24 @@ var metricsMidwrite func()
 //
 // tr and rec may be nil; the endpoints degrade to runtime-only metrics and
 // a placeholder flight dump. The returned Server's Addr reports the bound
-// address; Close shuts it down.
+// address; Close shuts it down. ServeWith additionally exposes per-job
+// lifecycle timelines.
 func Serve(addr string, tr *obs.Trace, rec *Recorder) (*Server, error) {
+	return ServeWith(addr, ServeConfig{Trace: tr, Flight: rec})
+}
+
+// ServeWith is Serve with the full source set. When cfg.Jobs is non-nil
+// it additionally serves:
+//
+//	/jobs             JSON index of recent job timelines (most recent first)
+//	/jobs/{trace_id}  one job's full timeline (decimal TraceID)
+//	/jobs/trace       Chrome trace-event JSON of recent jobs (load in
+//	                  chrome://tracing or Perfetto)
+//
+// and appends the per-tenant lowcomm_job_phase_seconds histogram family
+// to /metrics.
+func ServeWith(addr string, cfg ServeConfig) (*Server, error) {
+	tr, rec := cfg.Trace, cfg.Flight
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -68,11 +99,41 @@ func Serve(addr string, tr *obs.Trace, rec *Recorder) (*Server, error) {
 		if err := WriteTraceMetrics(w, tr); err != nil {
 			return
 		}
+		if cfg.Jobs != nil {
+			if err := WriteJobPhaseMetrics(w, cfg.Jobs); err != nil {
+				return
+			}
+		}
 		if metricsMidwrite != nil {
 			metricsMidwrite()
 		}
 		WriteRuntimeMetrics(w)
 	})
+	if cfg.Jobs != nil {
+		mux.HandleFunc("/jobs", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(cfg.Jobs.Jobs())
+		})
+		mux.HandleFunc("/jobs/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			cfg.Jobs.WriteChromeTrace(w)
+		})
+		mux.HandleFunc("/jobs/", func(w http.ResponseWriter, r *http.Request) {
+			idStr := strings.TrimPrefix(r.URL.Path, "/jobs/")
+			id, err := strconv.ParseUint(idStr, 10, 64)
+			if err != nil {
+				http.Error(w, "trace id must be a decimal TraceID", http.StatusBadRequest)
+				return
+			}
+			snap, ok := cfg.Jobs.Job(jobtrace.TraceID(id))
+			if !ok {
+				http.Error(w, "no such job (evicted or never traced)", http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(snap)
+		})
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(map[string]any{

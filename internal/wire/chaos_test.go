@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"lowcomm3d/internal/cluster"
+	"lowcomm3d/internal/gpu"
 	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/obs/jobtrace"
 	"lowcomm3d/internal/serve"
 	"lowcomm3d/internal/telemetry"
 )
@@ -148,6 +150,115 @@ func TestWireChaosMatrix(t *testing.T) {
 		}
 	}
 	dumpPostmortem(t, flight)
+	checkGoroutines(t, before)
+}
+
+// TestWireChaosTraceResume kills the first server connection mid-stream
+// and checks the tracing contract across the recovery: the resumed
+// session keeps the server-minted TraceID (the client sees one id across
+// both connections), and the reassembled timeline in the shared jobtrace
+// collector is gap-free — sequence numbers dense from zero, timestamps
+// monotone, exactly one admission and one completion, no restart
+// artifacts. Run under -race this also exercises the trace handoff
+// between the session pump, ack handler, and failover paths.
+func TestWireChaosTraceResume(t *testing.T) {
+	col := jobtrace.NewCollector()
+	eng := testEngine(t, serve.Options{Jobs: col, Device: gpu.V100_16GB()})
+	before := runtime.NumGoroutine()
+	flight := telemetry.NewRecorder(8, 64)
+	box := grid.CubeAt(grid.Point{4, 4, 4}, 4)
+	want := directResult(t, eng, "trace", box, testField(4, 42))
+
+	srvOpts := ServerOptions{
+		// A handful of chunks per result: enough that the close lands
+		// mid-stream, few enough that stream+ack events fit the ring.
+		ChunkBytes: 1024,
+		Window:     4096,
+		SessionTTL: 2 * time.Second,
+		Flight:     flight,
+		Jobs:       col,
+	}
+	var wrapped atomic.Bool
+	srvOpts.ConnWrap = func(c net.Conn) net.Conn {
+		// First accepted connection dies at its third write: welcome,
+		// one chunk, then gone. The retry connects clean and resumes.
+		if wrapped.CompareAndSwap(false, true) {
+			return cluster.NewChaosConn(c, cluster.FaultPlan{Seed: 1},
+				cluster.ConnFaultPoint{Write: 3, Kind: cluster.ConnClose})
+		}
+		return c
+	}
+	srv := testServer(t, eng, srvOpts)
+
+	c := NewClient(testClientOptions(srv.Addr().String()))
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	got, err := c.Submit(ctx, "trace", box, testField(4, 42))
+	if err != nil {
+		t.Fatalf("submit across mid-stream close: %v", err)
+	}
+	sameSamples(t, got, want)
+	if n := c.Trace().CounterValue("wire.client.resumes"); n < 1 {
+		t.Fatalf("resumes = %d; the fault did not force a session resume", n)
+	}
+	id := c.LastTraceID()
+	if id == 0 {
+		t.Fatal("LastTraceID() = 0; server did not echo a TraceID")
+	}
+
+	// The server finishes the timeline when the final ack lands, which
+	// races the client's return; poll for the completed snapshot.
+	var snap jobtrace.JobSnapshot
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		var ok bool
+		if snap, ok = col.Job(jobtrace.TraceID(id)); ok && snap.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %d not finished in collector (found=%v done=%v)", id, ok, snap.Done)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if snap.Tenant != "trace" {
+		t.Fatalf("tenant = %q, want %q", snap.Tenant, "trace")
+	}
+	if snap.Dropped != 0 {
+		t.Fatalf("timeline dropped %d events; reassembly has gaps", snap.Dropped)
+	}
+	counts := map[string]int{}
+	var lastAt int64
+	for i, ev := range snap.Events {
+		if ev.Seq != uint32(i) {
+			t.Fatalf("event %d: seq %d; sequence not dense (gap or duplicate)", i, ev.Seq)
+		}
+		if ev.AtNs < lastAt {
+			t.Fatalf("event %d (%s): timestamp went backwards", i, ev.Kind)
+		}
+		lastAt = ev.AtNs
+		counts[ev.Kind]++
+	}
+	if counts["admit"] != 1 || counts["complete"] != 1 {
+		t.Fatalf("admit=%d complete=%d; want exactly one of each (no restart artifacts): %v",
+			counts["admit"], counts["complete"], counts)
+	}
+	if counts["fail"] != 0 {
+		t.Fatalf("timeline records %d failures on a successful job: %+v", counts["fail"], snap.Events)
+	}
+	for _, k := range []string{"place", "dequeue", "stream", "ack"} {
+		if counts[k] == 0 {
+			t.Fatalf("timeline missing %q events: %v", k, counts)
+		}
+	}
+	if counts["stream"] < 2 {
+		t.Fatalf("stream events = %d; want several chunks spanning the reconnect", counts["stream"])
+	}
+
+	c.Close()
+	srv.Drain()
 	checkGoroutines(t, before)
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lowcomm3d/internal/fleet"
@@ -102,9 +103,23 @@ type Client struct {
 
 	nextJob uint64
 
+	// lastTrace is the server-minted TraceID echoed on the most recent
+	// job-scoped frame (chunk, done, status). It names this client's
+	// current job in the server's jobtrace collector — correlate wire
+	// activity with the server-side lifecycle timeline via /jobs/{id}.
+	// Zero until the first echo (or when server tracing is off). Stable
+	// across reconnects of the same job: the server keeps the timeline
+	// on the session, so a resumed stream echoes the same id.
+	lastTrace atomic.Uint64
+
 	cReconnects, cResumes, cRetries  *obs.Counter
 	cRestarts, cJobs, cFramesCorrupt *obs.Counter
 }
+
+// LastTraceID reports the server-side TraceID of the most recently
+// observed job (0 before any job frame arrives, or when the server runs
+// without a jobtrace collector).
+func (c *Client) LastTraceID() uint64 { return c.lastTrace.Load() }
 
 // NewClient builds a client; no connection is made until the first
 // Submit.
@@ -422,6 +437,9 @@ func (c *Client) readResult(ctx context.Context, conn net.Conn, jobID uint64, as
 			if m.Job != jobID {
 				continue // stale stream from an abandoned job
 			}
+			if m.Trace != 0 {
+				c.lastTrace.Store(m.Trace)
+			}
 			if err := asm.Add(m.Chunk); err != nil {
 				// Gap or CRC failure: the stream state is unusable on this
 				// connection; resume from the last good offset.
@@ -440,6 +458,9 @@ func (c *Client) readResult(ctx context.Context, conn net.Conn, jobID uint64, as
 			if err != nil || m.Job != jobID {
 				continue
 			}
+			if m.Trace != 0 {
+				c.lastTrace.Store(m.Trace)
+			}
 			if !asm.Complete() {
 				return nil, nil, fmt.Errorf("%w: done at %d of %d bytes", ErrFrameCorrupt, asm.Offset(), m.Total)
 			}
@@ -452,6 +473,9 @@ func (c *Client) readResult(ctx context.Context, conn net.Conn, jobID uint64, as
 			}
 			if m.Job != 0 && m.Job != jobID {
 				continue // stale job's terminal status
+			}
+			if m.Job == jobID && m.Trace != 0 {
+				c.lastTrace.Store(m.Trace)
 			}
 			switch {
 			case m.Code.Retryable():

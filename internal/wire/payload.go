@@ -39,8 +39,11 @@ type submitMsg struct {
 }
 
 // chunkMsg carries one resumable piece of an encoded compressed result.
+// Trace echoes the server-minted TraceID so clients can correlate the
+// stream with the server's per-job timeline (0: tracing off).
 type chunkMsg struct {
 	Job   uint64
+	Trace uint64
 	Chunk sample.Chunk
 }
 
@@ -50,15 +53,20 @@ type ackMsg struct {
 	Offset int64
 }
 
-// doneMsg marks a job fully streamed and acked.
+// doneMsg marks a job fully streamed and acked. Trace echoes the
+// server-minted TraceID (0: tracing off).
 type doneMsg struct {
 	Job   uint64
+	Trace uint64
 	Total int64
 }
 
-// statusMsg is a typed failure/rejection notice.
+// statusMsg is a typed failure/rejection notice. Trace echoes the
+// server-minted TraceID for job-scoped statuses (0: session-scoped or
+// tracing off).
 type statusMsg struct {
 	Job        uint64 // 0: session-scoped
+	Trace      uint64
 	Code       Status
 	RetryAfter time.Duration
 	Msg        string
@@ -270,8 +278,9 @@ func decodeSubmit(p []byte) (submitMsg, error) {
 }
 
 func (m chunkMsg) encode() []byte {
-	e := enc{b: make([]byte, 0, 32+len(m.Chunk.Payload))}
+	e := enc{b: make([]byte, 0, 40+len(m.Chunk.Payload))}
 	e.u64(m.Job)
+	e.u64(m.Trace)
 	e.i64(m.Chunk.Offset)
 	e.i64(m.Chunk.Total)
 	e.u32(m.Chunk.CRC)
@@ -283,6 +292,7 @@ func decodeChunk(p []byte) (chunkMsg, error) {
 	d := dec{b: p}
 	var m chunkMsg
 	m.Job = d.u64("chunk")
+	m.Trace = d.u64("chunk")
 	m.Chunk.Offset = d.i64("chunk")
 	m.Chunk.Total = d.i64("chunk")
 	m.Chunk.CRC = d.u32("chunk")
@@ -312,19 +322,21 @@ func decodeAck(p []byte) (ackMsg, error) {
 func (m doneMsg) encode() []byte {
 	var e enc
 	e.u64(m.Job)
+	e.u64(m.Trace)
 	e.i64(m.Total)
 	return e.b
 }
 
 func decodeDone(p []byte) (doneMsg, error) {
 	d := dec{b: p}
-	m := doneMsg{Job: d.u64("done"), Total: d.i64("done")}
+	m := doneMsg{Job: d.u64("done"), Trace: d.u64("done"), Total: d.i64("done")}
 	return m, d.done("done")
 }
 
 func (m statusMsg) encode() []byte {
 	var e enc
 	e.u64(m.Job)
+	e.u64(m.Trace)
 	e.u16(uint16(m.Code))
 	e.u32(uint32(m.RetryAfter / time.Millisecond))
 	e.str(m.Msg)
@@ -335,6 +347,7 @@ func decodeStatus(p []byte) (statusMsg, error) {
 	d := dec{b: p}
 	var m statusMsg
 	m.Job = d.u64("status")
+	m.Trace = d.u64("status")
 	m.Code = Status(d.u16("status"))
 	m.RetryAfter = time.Duration(d.u32("status")) * time.Millisecond
 	m.Msg = d.str("status")

@@ -13,6 +13,7 @@ import (
 
 	"lowcomm3d/internal/grid"
 	"lowcomm3d/internal/obs"
+	"lowcomm3d/internal/obs/jobtrace"
 	"lowcomm3d/internal/sample"
 	"lowcomm3d/internal/serve"
 	"lowcomm3d/internal/telemetry"
@@ -46,6 +47,13 @@ type ServerOptions struct {
 	// Flight, when non-nil, records session lifecycle events (opens,
 	// resumes, detaches, corrupt frames, expiries) for postmortems.
 	Flight *telemetry.Recorder
+
+	// Jobs, when non-nil, mints a per-job lifecycle timeline at submit
+	// frame receipt; the TraceID is echoed in every chunk, done, and
+	// job-scoped status frame, threaded through the engine via context,
+	// and survives session resume. Share the collector with the engine's
+	// serve.Options.Jobs to get one end-to-end timeline per request.
+	Jobs *jobtrace.Collector
 
 	// ConnWrap, when non-nil, wraps every accepted connection — the
 	// chaos tests' fault-injection hook.
@@ -129,6 +137,12 @@ type wireJob struct {
 	sent   int64      // next unsent offset on the current attachment
 	done   bool       // fully acked; Done sent
 	start  time.Time
+
+	// trace is the lifecycle timeline minted at submit receipt (nil:
+	// tracing off); traceID is its stable wire-echoed identity. The
+	// timeline outlives connections — a resumed session keeps it.
+	trace   *jobtrace.Job
+	traceID uint64
 }
 
 // connState is one live connection: a write mutex so pumps, the reader's
@@ -413,6 +427,13 @@ func (s *Server) handleSubmit(sess *session, cs *connState, m submitMsg) {
 		ctx, cancel = context.WithTimeout(ctx, m.Deadline)
 	}
 	j := &wireJob{id: m.Job, sess: sess, cancel: cancel, start: time.Now()}
+	if s.opt.Jobs != nil {
+		// Mint the TraceID here, at frame receipt: the timeline covers
+		// queueing and placement inside the engine AND the streaming tail,
+		// and the id is echoed on every frame the client sees.
+		j.trace = s.opt.Jobs.Start(m.Tenant)
+		j.traceID = uint64(j.trace.ID())
+	}
 	sess.jobs[m.Job] = j
 	s.jobWG.Add(1)
 	s.mu.Unlock()
@@ -428,10 +449,13 @@ func (s *Server) runJob(ctx context.Context, j *wireJob, m submitMsg) {
 	defer j.cancel()
 	box := grid.CubeAt(m.Lo, m.K)
 	input := &grid.Field{Dim: grid.Cube(m.K), Data: m.Data}
+	if j.trace != nil {
+		ctx = jobtrace.NewContext(ctx, j.trace)
+	}
 	res, err := s.eng.Submit(ctx, m.Tenant, box, input)
 	if err != nil {
 		code, after := statusOf(err)
-		st := statusMsg{Job: j.id, Code: code, RetryAfter: after, Msg: err.Error()}
+		st := statusMsg{Job: j.id, Trace: j.traceID, Code: code, RetryAfter: after, Msg: err.Error()}
 		switch code {
 		case StatusOverloadedQueue, StatusOverloadedMemory, StatusClosing:
 			s.cJobsRejected.Add(1)
@@ -447,7 +471,7 @@ func (s *Server) runJob(ctx context.Context, j *wireJob, m submitMsg) {
 	res.Release()
 	if err != nil {
 		s.cJobsFailed.Add(1)
-		s.failJob(j, statusMsg{Job: j.id, Code: StatusInternal, Msg: err.Error()})
+		s.failJob(j, statusMsg{Job: j.id, Trace: j.traceID, Code: StatusInternal, Msg: err.Error()})
 		return
 	}
 	s.mu.Lock()
@@ -466,8 +490,13 @@ func (s *Server) failJob(j *wireJob, st statusMsg) {
 	s.mu.Lock()
 	j.failed = &st
 	cs := j.sess.cur
+	tj := j.trace
+	j.trace = nil // terminal: only the echoed traceID remains
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	if tj != nil {
+		s.opt.Jobs.Finish(tj)
+	}
 	if cs != nil {
 		cs.write(FrameStatus, st.encode())
 	}
@@ -490,11 +519,16 @@ func (s *Server) pump(j *wireJob) {
 			j.done = true
 			delete(j.sess.jobs, j.id)
 			cs := j.sess.cur
+			tj := j.trace
+			j.trace = nil
 			s.mu.Unlock()
 			s.cJobsDone.Add(1)
 			s.hStream.Observe(time.Since(j.start))
+			if tj != nil {
+				s.opt.Jobs.Finish(tj)
+			}
 			if cs != nil {
-				cs.write(FrameDone, doneMsg{Job: j.id, Total: total}.encode())
+				cs.write(FrameDone, doneMsg{Job: j.id, Trace: j.traceID, Total: total}.encode())
 			}
 			s.mu.Lock()
 			return
@@ -518,7 +552,7 @@ func (s *Server) pump(j *wireJob) {
 		}
 		j.sent = end
 		s.mu.Unlock()
-		werr := cs.write(FrameChunk, chunkMsg{Job: j.id, Chunk: ch}.encode())
+		werr := cs.write(FrameChunk, chunkMsg{Job: j.id, Trace: j.traceID, Chunk: ch}.encode())
 		s.mu.Lock()
 		if werr != nil {
 			// This connection is dead. Roll sent back so a resume on a
@@ -535,6 +569,7 @@ func (s *Server) pump(j *wireJob) {
 		}
 		s.cChunks.Add(1)
 		s.cChunkBytes.Add(int64(len(ch.Payload)))
+		j.trace.Event(jobtrace.KindStream, -1, "", int64(len(ch.Payload)))
 	}
 }
 
@@ -543,6 +578,7 @@ func (s *Server) handleAck(sess *session, m ackMsg) {
 	defer s.mu.Unlock()
 	if j := sess.jobs[m.Job]; j != nil && m.Offset > j.acked {
 		j.acked = m.Offset
+		j.trace.Event(jobtrace.KindAck, -1, "", m.Offset)
 		s.cond.Broadcast()
 	}
 }
