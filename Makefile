@@ -1,11 +1,11 @@
 .PHONY: verify build test bench bench-diff fuzz-smoke
 
 # Where `make bench` writes its benchjson report. Override per PR:
-#   make bench BENCH_OUT=BENCH_PR10.json
-BENCH_OUT ?= BENCH_PR9.json
+#   make bench BENCH_OUT=BENCH_PR11.json
+BENCH_OUT ?= BENCH_PR10.json
 
 # Baseline the bench-diff gate compares against.
-BENCH_BASE ?= BENCH_PR9.json
+BENCH_BASE ?= BENCH_PR10.json
 
 # The gate for every change: static checks, full build, and the complete
 # test suite under the race detector (the fault-tolerant transport is

@@ -13,6 +13,7 @@
 //	paperbench -faults       fault-injection study: lossy-fabric convolution + crashed MASSIF solve
 //	paperbench -chaos        self-healing study: crash/straggler/OOM schedules against the healing solve
 //	paperbench -serve-load   §3.1 serving: seeded open-loop load against the steady-state engine
+//	paperbench -wfq-load     weighted-fair tenant drain under overload, self-checked against /metrics
 //	paperbench -wire-load    wire front door over loopback TCP under seeded connection faults
 //	paperbench -fleet-load   fleet scheduler under seeded simulated load across fleet shapes
 //	paperbench -job-trace f  per-job lifecycle tracing study: tenant SLO breakdown + Chrome trace to f
@@ -58,6 +59,7 @@ func main() {
 		fleet   = flag.Bool("fleet", false, "DGX-2 batch-throughput model (§5.1 batching claim)")
 		sweep   = flag.Bool("sweep", false, "measured accuracy/compression tradeoff across far rates (§5.4)")
 		sLoad   = flag.Bool("serve-load", false, "seeded open-loop load against the steady-state serving engine (§3.1)")
+		wfqLoad = flag.Bool("wfq-load", false, "weighted-fair tenant drain under overload, self-checked against live /metrics shares")
 		wLoad   = flag.Bool("wire-load", false, "wire-protocol front door over loopback TCP under seeded connection faults")
 		fLoad   = flag.Bool("fleet-load", false, "fleet scheduler under seeded simulated load across fleet shapes")
 		fChaos  = flag.Bool("fleet-chaos", false, "fleet fault tolerance under seeded device faults: crash/hang/transient/slowdown with exactly-once recovery")
@@ -126,6 +128,7 @@ func main() {
 	run(*fleet, fleetStudy)
 	run(*sweep, rateSweep)
 	run(*sLoad, serveLoadStudy)
+	run(*wfqLoad, wfqLoadStudy)
 	run(*wLoad, wireLoadStudy)
 	run(*fLoad, fleetLoadStudy)
 	run(*fChaos, fleetChaosStudy)

@@ -19,16 +19,27 @@ type CostModel struct {
 	NVLink    cluster.Params // intra-box link
 	IB        cluster.Params // cross-box link
 	BatchDial int            // §5.4 B: pencils per launch (≤0: 1024)
+
+	// HealthPenalty multiplies the full placement cost of a device the
+	// health monitor does not fully trust: Suspect and Probation devices
+	// on the reservation-only Place path, and freshly-readmitted devices
+	// for HealthOptions.ReadmitPenalty after their probe streak. The
+	// penalty makes such devices look expensive rather than merely
+	// admissible — a proven-Healthy identical peer always wins — while
+	// still letting them absorb load when every trusted device is
+	// saturated (≤0: 4).
+	HealthPenalty float64
 }
 
 // DefaultCostModel returns the calibrated model used when Options.Cost is
 // the zero value.
 func DefaultCostModel() CostModel {
 	return CostModel{
-		Perf:      gpu.DefaultPerf(),
-		NVLink:    DefaultNVLink(),
-		IB:        DefaultIB(),
-		BatchDial: 1024,
+		Perf:          gpu.DefaultPerf(),
+		NVLink:        DefaultNVLink(),
+		IB:            DefaultIB(),
+		BatchDial:     1024,
+		HealthPenalty: 4,
 	}
 }
 
@@ -44,6 +55,9 @@ func (m CostModel) withDefaults() CostModel {
 	}
 	if m.BatchDial <= 0 {
 		m.BatchDial = 1024
+	}
+	if m.HealthPenalty <= 0 {
+		m.HealthPenalty = 4
 	}
 	return m
 }

@@ -184,6 +184,11 @@ type Task struct {
 	Footprint int64
 	HomeBox   int // box where the job's input lives (NVLink vs IB)
 
+	// Weight is the tenant's dispatch weight: it divides the EWMA backlog
+	// term of the Eq. 2 placement cost, so a heavier tenant tolerates a
+	// deeper queue before spilling to a worse device (≤0: 1).
+	Weight float64
+
 	Box   grid.Box
 	Input *grid.Field // full field the runner extracts Box from
 	Slot  int         // result index within the owning solve

@@ -83,6 +83,11 @@ type HealthOptions struct {
 	MaxAttempts int
 	// DisableHedge turns off hedged re-execution of suspect batches.
 	DisableHedge bool
+	// ReadmitPenalty is how long a freshly-readmitted device keeps the
+	// CostModel.HealthPenalty price multiplier after its probe streak
+	// promotes it back to Healthy — long enough for real completions to
+	// rebuild trust before it wins ties against proven peers (≤0: 250ms).
+	ReadmitPenalty time.Duration
 }
 
 func (h HealthOptions) withDefaults() HealthOptions {
@@ -103,6 +108,9 @@ func (h HealthOptions) withDefaults() HealthOptions {
 	}
 	if h.MaxAttempts <= 0 {
 		h.MaxAttempts = 4
+	}
+	if h.ReadmitPenalty <= 0 {
+		h.ReadmitPenalty = 250 * time.Millisecond
 	}
 	return h
 }
@@ -279,6 +287,7 @@ func (s *Scheduler) Probe(di int, ok bool) {
 		d.health = Healthy
 		d.probeOKs = 0
 		d.reset = make(chan struct{})
+		d.penaltyUntil = now.Add(s.health.ReadmitPenalty)
 		s.cReadmit.Add(1)
 		s.flight.Health(di, "healthy", "probe streak readmitted")
 		s.log.printf(now, "readmit dev=%d", di)
@@ -433,7 +442,7 @@ func (s *Scheduler) admitOrphansLocked(now time.Time) {
 			continue // resolved elsewhere (hedge landed, cancel, close)
 		}
 		ex := s.explainFor(t.Job)
-		di, cost, fits := s.bestExplainLocked(t.K, t.Footprint, t.HomeBox, true, 0, ex)
+		di, cost, fits := s.bestExplainLocked(t.K, t.Footprint, t.HomeBox, true, 0, taskWeight(t), ex)
 		if di < 0 {
 			if fits {
 				kept = append(kept, t) // capacity exists; wait for it to free

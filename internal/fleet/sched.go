@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"time"
 
@@ -36,6 +37,12 @@ type devState struct {
 	requeued  int64
 	running   []*Task
 	reset     chan struct{}
+
+	// penaltyUntil prices distrust into placement after readmission: a
+	// device that just cleared its probe streak keeps the CostModel's
+	// HealthPenalty multiplier until this instant, so it cannot win ties
+	// against proven-Healthy peers on the strength of one good probe.
+	penaltyUntil time.Time
 }
 
 // Scheduler is the fleet placement core: a deterministic state machine
@@ -180,11 +187,29 @@ func (s *Scheduler) Devices() int { return len(s.devs) }
 // Footprint prices a k³ job on this scheduler's grid.
 func (s *Scheduler) Footprint(k int) int64 { return gpu.JobFootprint(s.n, k, s.far) }
 
-// costLocked prices placing a k³ job homed in homeBox on device di.
-func (s *Scheduler) costLocked(k, homeBox, di int) (float64, error) {
+// costLocked prices placing a k³ job homed in homeBox on device di. The
+// tenant weight divides the EWMA-backlog term — a weight-w tenant
+// discounts queue wait by 1/w, so its jobs spread onto busier devices
+// sooner and its backlog drains faster fleet-wide; weight 1 (or ≤0) is
+// the unweighted Eq. 2 cost exactly. penalized reports whether the
+// health multiplier applied: the device is not Healthy, or it was
+// readmitted so recently that its penalty window (penaltyUntil) is
+// still open.
+func (s *Scheduler) costLocked(k, homeBox, di int, weight float64, now time.Time) (cost float64, penalized bool, err error) {
 	d := &s.devs[di]
 	backlog := len(d.queue) + d.inflight
-	return s.cost.PlacementSeconds(s.n, k, s.far, d.box != homeBox, backlog, float64(d.ewmaNanos)/1e9)
+	ewmaSec := float64(d.ewmaNanos) / 1e9
+	if weight > 0 {
+		ewmaSec /= weight
+	}
+	c, err := s.cost.PlacementSeconds(s.n, k, s.far, d.box != homeBox, backlog, ewmaSec)
+	if err != nil {
+		return 0, false, err
+	}
+	if d.health != Healthy || now.Before(d.penaltyUntil) {
+		return c * s.cost.HealthPenalty, true, nil
+	}
+	return c, false, nil
 }
 
 // BestCost prices the cheapest currently-admissible device for a k³ job
@@ -204,6 +229,14 @@ func (s *Scheduler) BestCost(k int, footprint int64, homeBox int) (dev int, cost
 // state. fits reports capacity-level admissibility on any device.
 func (s *Scheduler) bestLocked(k int, footprint int64, homeBox int, forQueue bool) (int, float64, bool) {
 	return s.bestTriedLocked(k, footprint, homeBox, forQueue, 0)
+}
+
+// taskWeight normalizes a task's tenant weight for cost scaling.
+func taskWeight(t *Task) float64 {
+	if t == nil || t.Weight <= 0 {
+		return 1
+	}
+	return t.Weight
 }
 
 // overloadLocked builds the typed rejection for a job no device can admit
@@ -290,6 +323,15 @@ func (s *Scheduler) Place(k int, footprint int64, homeBox int) (int, error) {
 // after the fact. A nil job traces nothing; the hot path stays
 // allocation-free either way (the explain scratch lives in the scheduler).
 func (s *Scheduler) PlaceTraced(k int, footprint int64, homeBox int, j *jobtrace.Job) (int, error) {
+	return s.PlaceWeighted(k, footprint, homeBox, 1, j)
+}
+
+// PlaceWeighted is PlaceTraced carrying the tenant's dispatch weight
+// into the Eq. 2 cost: the weight divides each device's EWMA-backlog
+// term, so a weight-w tenant's jobs see queue wait at 1/w and its
+// backlog drains faster fleet-wide. weight ≤ 0 (and exactly 1) price
+// identically to PlaceTraced.
+func (s *Scheduler) PlaceWeighted(k int, footprint int64, homeBox int, weight float64, j *jobtrace.Job) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -298,7 +340,7 @@ func (s *Scheduler) PlaceTraced(k int, footprint int64, homeBox int, j *jobtrace
 	var tried uint64
 	for {
 		ex := s.explainFor(j)
-		di, cost, _ := s.bestExplainLocked(k, footprint, homeBox, false, tried, ex)
+		di, cost, _ := s.bestExplainLocked(k, footprint, homeBox, false, tried, weight, ex)
 		if di < 0 {
 			s.cRejected.Add(1)
 			return -1, s.overloadLocked(footprint, true)
@@ -328,19 +370,33 @@ func (s *Scheduler) explainFor(j *jobtrace.Job) *jobtrace.Explain {
 
 // bestTriedLocked is bestLocked minus the devices in the tried bitmask.
 func (s *Scheduler) bestTriedLocked(k int, footprint int64, homeBox int, forQueue bool, tried uint64) (int, float64, bool) {
-	return s.bestExplainLocked(k, footprint, homeBox, forQueue, tried, nil)
+	return s.bestExplainLocked(k, footprint, homeBox, forQueue, tried, 1, nil)
 }
 
 // bestExplainLocked selects the cheapest admissible device, classifying
 // every candidate it passes over: each rejection ticks the
 // fleet.placement_rejects counter with a typed reason (dead, probation,
 // no-fit, suspect, memory, queue-full), and — when ex is non-nil — lands
-// in the explain scratch alongside the scored losers' Eq. 2 costs. Only
-// Healthy devices are selectable; fits reports capacity over the live
-// fleet (Healthy or Suspect — suspects may recover), so a footprint only
-// a dead device could hold is a typed no-fit, not an eternal wait.
-func (s *Scheduler) bestExplainLocked(k int, footprint int64, homeBox int, forQueue bool, tried uint64, ex *jobtrace.Explain) (int, float64, bool) {
+// in the explain scratch alongside the scored losers' Eq. 2 costs.
+//
+// Health prices into the decision instead of merely gating it. Dead
+// devices are never selectable. On the queue path (forQueue) Probation
+// and Suspect devices stay unselectable too — neither dispatches new
+// batches, so queueing to them strands the task. On the reservation-only
+// Place path they ARE scored, at costLocked's HealthPenalty-multiplied
+// price, so a distrusted device never beats an otherwise-identical
+// Healthy peer but still absorbs load once every trusted device is
+// saturated. Freshly-readmitted devices keep the penalty on both paths
+// until their penaltyUntil window closes; each penalized candidate that
+// loses its placement ticks fleet.placement_rejects (reason: penalized).
+//
+// fits reports capacity over the fleet the caller could ever use, so a
+// footprint only a dead device could hold is a typed no-fit, not an
+// eternal wait.
+func (s *Scheduler) bestExplainLocked(k int, footprint int64, homeBox int, forQueue bool, tried uint64, weight float64, ex *jobtrace.Explain) (int, float64, bool) {
 	best, bestCost, fits := -1, 0.0, false
+	now := s.clock.Now()
+	var penalized uint64
 	reject := func(i int, r jobtrace.Reject) {
 		s.cPlacementRejects.Add(1)
 		if ex != nil {
@@ -357,12 +413,12 @@ func (s *Scheduler) bestExplainLocked(k int, footprint int64, homeBox int, forQu
 			continue
 		}
 		d := &s.devs[i]
-		if d.health != Healthy && d.health != Suspect {
-			if d.health == Dead {
-				reject(i, jobtrace.RejectDead)
-			} else {
-				reject(i, jobtrace.RejectProbation)
-			}
+		if d.health == Dead {
+			reject(i, jobtrace.RejectDead)
+			continue
+		}
+		if d.health == Probation && forQueue {
+			reject(i, jobtrace.RejectProbation)
 			continue
 		}
 		if footprint > d.dev.Capacity {
@@ -370,7 +426,7 @@ func (s *Scheduler) bestExplainLocked(k int, footprint int64, homeBox int, forQu
 			continue
 		}
 		fits = true
-		if d.health != Healthy {
+		if d.health == Suspect && forQueue {
 			reject(i, jobtrace.RejectSuspect)
 			continue
 		}
@@ -382,10 +438,13 @@ func (s *Scheduler) bestExplainLocked(k int, footprint int64, homeBox int, forQu
 			reject(i, jobtrace.RejectQueueFull)
 			continue
 		}
-		c, err := s.costLocked(k, homeBox, i)
+		c, penal, err := s.costLocked(k, homeBox, i, weight, now)
 		if err != nil {
 			reject(i, jobtrace.RejectNoFit)
 			continue
+		}
+		if penal {
+			penalized |= 1 << uint(i)
 		}
 		if ex != nil {
 			ex.Add(i, c, jobtrace.RejectNone)
@@ -393,6 +452,12 @@ func (s *Scheduler) bestExplainLocked(k int, footprint int64, homeBox int, forQu
 		if best < 0 || c < bestCost {
 			best, bestCost = i, c
 		}
+	}
+	if penalized != 0 {
+		if best >= 0 {
+			penalized &^= 1 << uint(best)
+		}
+		s.cPlacementRejects.Add(int64(bits.OnesCount64(penalized)))
 	}
 	return best, bestCost, fits
 }
@@ -495,7 +560,7 @@ func (s *Scheduler) enqueueLocked(t *Task) (int, error) {
 	var tried uint64
 	for {
 		ex := s.explainFor(t.Job)
-		di, cost, fits := s.bestExplainLocked(t.K, t.Footprint, t.HomeBox, true, tried, ex)
+		di, cost, fits := s.bestExplainLocked(t.K, t.Footprint, t.HomeBox, true, tried, taskWeight(t), ex)
 		if di < 0 {
 			s.cRejected.Add(1)
 			if !fits {

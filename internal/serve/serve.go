@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +81,16 @@ type Options struct {
 	// steady state for deep visibility; leave it off in production loops.
 	TracePipelines bool
 
+	// TenantWeights assigns deficit-round-robin dispatch weights: a
+	// weight-w tenant is served up to w jobs per dispatch visit, so under
+	// overload its backlog drains ~w× faster than a weight-1 tenant's
+	// while every tenant still gets a visit per cycle (starvation-free).
+	// Unlisted tenants get weight 1, which reproduces plain round-robin
+	// exactly. Weights also scale the fleet placement cost's backlog term
+	// (a weight-w tenant discounts queue wait by 1/w). Update at runtime
+	// with SetTenantWeight.
+	TenantWeights map[string]int
+
 	// testHook (tests only) runs on the worker goroutine as each job
 	// starts; installing it via Options means it is in place before the
 	// workers spawn, with no write racing their reads.
@@ -114,6 +125,8 @@ func (r Result) Release() {
 type task struct {
 	next      *task // intrusive FIFO link within the tenant queue
 	tq        *tenantQueue
+	tenant    string       // owning tenant (tq is recycled once dequeued)
+	stats     *tenantStats // drain accounting slot (nil: registry full)
 	ctx       context.Context
 	box       grid.Box
 	input     *grid.Field
@@ -127,13 +140,42 @@ type task struct {
 	done      chan struct{}
 }
 
-// tenantQueue is one tenant's FIFO of queued tasks. Fairness is
-// round-robin across tenants: a tenant submitting faster than the engine
-// drains cannot starve the others, it can only fill its own share.
+// tenantQueue is one tenant's FIFO of queued tasks. Dispatch is
+// deficit-round-robin across tenants: each visit refills the tenant's
+// credit to its weight and serves up to that many jobs, so a weight-w
+// tenant drains ~w× faster under overload while a deep queue can only
+// fill its own share, never starve a sibling. A queue is evicted from
+// the dispatch order the moment it empties (and pooled for reuse), so
+// ephemeral one-shot tenant IDs cannot grow the dispatch scan or the
+// tenant map without bound.
 type tenantQueue struct {
 	name       string
+	weight     int // DRR quantum: jobs served per dispatch visit
+	credit     int // dequeues left in the current visit
+	size       int // queued tasks (per-tenant depth snapshot)
 	head, tail *task
+	freeNext   *tenantQueue // free-list link while evicted
 }
+
+// tenantStats is one tenant's drain accounting, kept across queue
+// evictions in a bounded registry so /metrics can report per-tenant
+// submit/complete counts and drain shares. Counters are atomics: the
+// worker increments completions without taking the engine mutex.
+type tenantStats struct {
+	name      string
+	submitted atomic.Uint64
+	completed atomic.Uint64
+}
+
+// maxTenantStats bounds the drain-accounting registry. Tenants beyond
+// the cap still get fair dispatch (the queue table is bounded by
+// concurrently-queued tenants, not by this); they just aren't
+// individually reported in TenantSnapshots.
+const maxTenantStats = 512
+
+// maxTenantWeight caps a single tenant's DRR weight, bounding the burst
+// one visit can dispatch (mirrors the wire-protocol bound).
+const maxTenantWeight = 1 << 20
 
 // Engine is the serving engine. Create with New; Submit is safe for
 // concurrent use from any number of goroutines.
@@ -152,9 +194,12 @@ type Engine struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	tenants  map[string]*tenantQueue
-	order    []*tenantQueue // round-robin dispatch order
-	rr       int
+	tenants  map[string]*tenantQueue // tenants with queued work only
+	order    []*tenantQueue          // DRR dispatch order (non-empty queues)
+	rr       int                     // order index currently being served
+	tqFree   *tenantQueue            // evicted-queue pool (keeps warm path 0-alloc)
+	weights  map[string]int          // configured DRR weights (absent: 1)
+	stats    map[string]*tenantStats // bounded drain-accounting registry
 	queued   int
 	draining bool
 	closed   bool
@@ -196,6 +241,18 @@ func New(opts Options) (*Engine, error) {
 		workers:  opts.Workers,
 		maxQueue: opts.QueueDepth,
 		tenants:  make(map[string]*tenantQueue),
+		weights:  make(map[string]int, len(opts.TenantWeights)),
+		stats:    make(map[string]*tenantStats),
+	}
+	for name, w := range opts.TenantWeights {
+		if w < 1 {
+			continue
+		}
+		if w > maxTenantWeight {
+			w = maxTenantWeight
+		}
+		e.weights[name] = w
+		e.stats[name] = &tenantStats{name: name}
 	}
 	if e.far <= 0 {
 		e.far = 16
@@ -287,6 +344,93 @@ func (e *Engine) QueueDepth() int {
 	return e.queued
 }
 
+// SetTenantWeight sets tenant's deficit-round-robin weight — the number
+// of jobs served per dispatch visit — taking effect on the tenant's next
+// visit (jobs already granted credit this visit keep it). w < 1 resets
+// the tenant to the default weight 1; weights above the wire-protocol
+// bound are clamped. Safe for concurrent use with Submit.
+func (e *Engine) SetTenantWeight(tenant string, w int) {
+	if w > maxTenantWeight {
+		w = maxTenantWeight
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if w < 1 {
+		delete(e.weights, tenant)
+		w = 1
+	} else {
+		e.weights[tenant] = w
+	}
+	if tq := e.tenants[tenant]; tq != nil {
+		tq.weight = w
+		if tq.credit > w {
+			tq.credit = w
+		}
+	}
+	if st := e.stats[tenant]; st == nil && len(e.stats) < maxTenantStats {
+		e.stats[tenant] = &tenantStats{name: tenant}
+	}
+}
+
+// TenantWeight returns tenant's current dispatch weight (1 when unset).
+func (e *Engine) TenantWeight(tenant string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if w := e.weights[tenant]; w >= 1 {
+		return w
+	}
+	return 1
+}
+
+// TenantSnapshot is one tenant's weighted-fair dispatch accounting: its
+// configured weight, live queue depth, cumulative submit/complete
+// counts, and its share of everything the engine has completed so far.
+type TenantSnapshot struct {
+	Tenant     string
+	Weight     int
+	Queued     int
+	Submitted  uint64
+	Completed  uint64
+	DrainShare float64 // Completed / Σ Completed across reported tenants
+}
+
+// TenantSnapshots reports the per-tenant dispatch accounting, sorted by
+// tenant name, for the telemetry bridge's serve.tenant_* series. The
+// registry is bounded (maxTenantStats); tenants beyond the bound are
+// dispatched fairly but not individually reported.
+func (e *Engine) TenantSnapshots() []TenantSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.stats) == 0 {
+		return nil
+	}
+	out := make([]TenantSnapshot, 0, len(e.stats))
+	var total uint64
+	for name, st := range e.stats {
+		ts := TenantSnapshot{
+			Tenant:    name,
+			Weight:    1,
+			Submitted: st.submitted.Load(),
+			Completed: st.completed.Load(),
+		}
+		if w := e.weights[name]; w >= 1 {
+			ts.Weight = w
+		}
+		if tq := e.tenants[name]; tq != nil {
+			ts.Queued = tq.size
+		}
+		total += ts.Completed
+		out = append(out, ts)
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].DrainShare = float64(out[i].Completed) / float64(total)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
 // jobFootprint models the device bytes one k³ job holds at peak — the
 // shared gpu.JobFootprint model, so serve admission, fleet placement,
 // and massif worker admission all price a job identically.
@@ -336,7 +480,16 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 	}
 	e.queued++ // hold the queue slot across the device reservation
 	depth := e.queued
+	w := e.weights[tenant] // absent: 0, normalized to 1 below
+	st := e.stats[tenant]
+	if st == nil && len(e.stats) < maxTenantStats {
+		st = &tenantStats{name: tenant} // once per tenant; warm path hits the map
+		e.stats[tenant] = st
+	}
 	e.mu.Unlock()
+	if w < 1 {
+		w = 1
+	}
 
 	// Lifecycle timeline: adopt one threaded through ctx (the wire
 	// layer's — it echoes the TraceID to the client and finishes the
@@ -351,7 +504,7 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 
 	dev := -1
 	if e.sched != nil {
-		di, err := e.sched.PlaceTraced(s[0], fp, 0, j)
+		di, err := e.sched.PlaceWeighted(s[0], fp, 0, float64(w), j)
 		if err != nil {
 			e.mu.Lock()
 			e.queued--
@@ -389,6 +542,7 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 	t.box, t.input, t.footprint, t.enq = box, input, fp, time.Now()
 	t.dev = dev
 	t.job, t.jobOwned = j, jobOwned
+	t.tenant, t.stats = tenant, st
 	t.ctx = ctx
 
 	e.mu.Lock()
@@ -404,7 +558,7 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 	}
 	tq := e.tenants[tenant]
 	if tq == nil {
-		tq = &tenantQueue{name: tenant}
+		tq = e.newTenantQueueLocked(tenant)
 		e.tenants[tenant] = tq
 		e.order = append(e.order, tq)
 	}
@@ -415,9 +569,13 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 		tq.head = t
 	}
 	tq.tail = t
+	tq.size++
 	e.cond.Signal()
 	e.mu.Unlock()
 	e.cSubmitted.Add(1)
+	if st != nil {
+		st.submitted.Add(1)
+	}
 	j.Event(jobtrace.KindQueue, dev, "", int64(depth))
 
 	if done := ctx.Done(); done != nil {
@@ -448,9 +606,53 @@ func (e *Engine) Submit(ctx context.Context, tenant string, box grid.Box, input 
 	return res, err
 }
 
+// newTenantQueueLocked takes a queue from the eviction pool (or builds
+// one) and primes it for tenant: configured weight, empty credit — the
+// first dispatch visit refills it.
+func (e *Engine) newTenantQueueLocked(tenant string) *tenantQueue {
+	tq := e.tqFree
+	if tq != nil {
+		e.tqFree = tq.freeNext
+		tq.freeNext = nil
+	} else {
+		tq = &tenantQueue{}
+	}
+	w := e.weights[tenant]
+	if w < 1 {
+		w = 1
+	}
+	tq.name, tq.weight, tq.credit, tq.size = tenant, w, 0, 0
+	return tq
+}
+
+// evictLocked removes the emptied queue at dispatch-order index idx,
+// drops its tenant-table entry, and pools the queue object. The dispatch
+// order therefore only ever holds tenants with queued work — the bound
+// that keeps a stream of one-shot tenant IDs from growing the dispatch
+// scan and map forever. Relative order of the survivors is preserved, so
+// equal-weight dispatch stays exactly round-robin.
+func (e *Engine) evictLocked(idx int) {
+	tq := e.order[idx]
+	copy(e.order[idx:], e.order[idx+1:])
+	e.order[len(e.order)-1] = nil
+	e.order = e.order[:len(e.order)-1]
+	if e.rr > idx {
+		e.rr--
+	}
+	if e.rr >= len(e.order) {
+		e.rr = 0
+	}
+	delete(e.tenants, tq.name)
+	tq.name = ""
+	tq.head, tq.tail = nil, nil
+	tq.weight, tq.credit, tq.size = 0, 0, 0
+	tq.freeNext = e.tqFree
+	e.tqFree = tq
+}
+
 // removeQueued unlinks t from its tenant queue if no worker has dequeued
-// it yet, reclaiming the queue slot. It reports whether the caller now
-// owns the task.
+// it yet, reclaiming the queue slot (and evicting the queue if t was its
+// last entry). It reports whether the caller now owns the task.
 func (e *Engine) removeQueued(t *task) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -472,7 +674,16 @@ func (e *Engine) removeQueued(t *task) bool {
 			tq.tail = prev
 		}
 		cur.next = nil
+		tq.size--
 		e.queued--
+		if tq.head == nil {
+			for i, q := range e.order {
+				if q == tq {
+					e.evictLocked(i)
+					break
+				}
+			}
+		}
 		return true
 	}
 	return false
@@ -488,6 +699,7 @@ func (e *Engine) recycle(t *task) {
 	}
 	t.job, t.jobOwned = nil, false
 	t.next, t.tq, t.input, t.ctx = nil, nil, nil, nil
+	t.tenant, t.stats = "", nil
 	t.res, t.err = Result{}, nil
 	t.dev = -1
 	e.taskPool.Put(t)
@@ -541,7 +753,7 @@ func (e *Engine) observeDuration(d time.Duration) {
 	}
 }
 
-// worker is one dispatch goroutine: dequeue round-robin, run, repeat
+// worker is one dispatch goroutine: dequeue weighted-fair, run, repeat
 // until the engine drains.
 func (e *Engine) worker() {
 	defer e.wg.Done()
@@ -554,8 +766,13 @@ func (e *Engine) worker() {
 	}
 }
 
-// dequeue blocks for the next task, serving tenants round-robin. It
-// returns nil once the engine is draining and the queue is empty.
+// dequeue blocks for the next task, serving tenants deficit-round-robin:
+// the dispatch order holds exactly the tenants with queued work, the
+// cursor stays on one tenant until its per-visit credit (refilled to its
+// weight) is spent or its queue empties, then moves on. With every
+// weight at 1 this is plain round-robin — one job per tenant per cycle,
+// in arrival order of the tenants. Returns nil once the engine is
+// draining and the queue is empty.
 func (e *Engine) dequeue() *task {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -564,21 +781,32 @@ func (e *Engine) dequeue() *task {
 			return nil
 		}
 		if n := len(e.order); n > 0 {
-			for i := 0; i < n; i++ {
-				tq := e.order[(e.rr+i)%n]
-				if tq.head == nil {
-					continue
-				}
-				e.rr = (e.rr + i + 1) % n
-				t := tq.head
-				tq.head = t.next
-				if tq.head == nil {
-					tq.tail = nil
-				}
-				t.next = nil
-				e.queued--
-				return t
+			if e.rr >= n {
+				e.rr = 0
 			}
+			tq := e.order[e.rr]
+			if tq.credit <= 0 {
+				tq.credit = tq.weight
+			}
+			t := tq.head
+			tq.head = t.next
+			if tq.head == nil {
+				tq.tail = nil
+			}
+			t.next = nil
+			t.tq = nil // tq may be evicted and recycled before t finishes
+			tq.size--
+			tq.credit--
+			e.queued--
+			if tq.head == nil {
+				e.evictLocked(e.rr)
+			} else if tq.credit <= 0 {
+				e.rr++
+				if e.rr >= len(e.order) {
+					e.rr = 0
+				}
+			}
+			return t
 		}
 		if e.draining {
 			return nil
@@ -604,11 +832,11 @@ func (e *Engine) runJob(t *task) {
 	e.hWait.Observe(time.Since(t.enq))
 	e.gBusy.Max(e.busy.Add(1))
 	if h := e.testHookStart; h != nil {
-		h(t.tq.name)
+		h(t.tenant)
 	}
 	start := time.Now()
 	if h := e.testHookRun; h != nil {
-		h(t.tq.name)
+		h(t.tenant)
 	}
 	e.execute(t)
 	d := time.Since(start)
@@ -624,6 +852,9 @@ func (e *Engine) runJob(t *task) {
 	e.releaseDev(t)
 	if t.err == nil {
 		e.cCompleted.Add(1)
+		if t.stats != nil {
+			t.stats.completed.Add(1)
+		}
 		t.job.Stage("A", dev, t.res.Stats.StageA)
 		t.job.Stage("B", dev, t.res.Stats.StageB)
 		t.job.Stage("C", dev, t.res.Stats.StageC)

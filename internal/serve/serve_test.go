@@ -99,7 +99,8 @@ func TestWarmSubmitZeroAllocs(t *testing.T) {
 	in := testField(8, 7)
 	e := testEngine(t, Options{
 		Dim: dim, Workers: 1, Device: gpu.V100_16GB(),
-		Jobs: jobtrace.NewCollector(),
+		Jobs:          jobtrace.NewCollector(),
+		TenantWeights: map[string]int{"tenant": 3}, // weights must not cost the warm path an alloc
 	})
 	for i := 0; i < 5; i++ { // warm plans, pools, tenant queue, task pool
 		res, err := e.Submit(context.Background(), "tenant", box, in)

@@ -109,7 +109,12 @@ var helpText = map[string]string{
 	"wire.client.restarts":           "Client jobs restarted from byte zero because the server no longer held the session.",
 	"wire.client.jobs_completed":     "Client jobs that returned a fully assembled, CRC-verified result.",
 	"wire.client.frames_corrupt":     "Inbound frames or chunks the client rejected as corrupt before resuming.",
-	"fleet.placement_rejects":        "Placement candidates rejected while scoring a job against the fleet (typed per-candidate reasons - tried, dead, probation, suspect, no-fit, memory, queue-full - recorded on the job's timeline with the losing Eq. 2 costs).",
+	"fleet.placement_rejects":        "Placement candidates rejected while scoring a job against the fleet (typed per-candidate reasons - tried, dead, probation, suspect, no-fit, memory, queue-full - recorded on the job's timeline with the losing Eq. 2 costs), plus health-penalized candidates that scored but lost (probation/suspect or freshly-readmitted devices priced at the HealthPenalty multiplier).",
+	"serve.tenant_weight":            "Per-tenant deficit-round-robin dispatch weight: jobs served per queue visit, so under overload a weight-3 tenant drains ~3x a weight-1 tenant (labeled {tenant}).",
+	"serve.tenant_queue_depth":       "Jobs currently queued per tenant in the serving engine's weighted-fair dispatch (labeled {tenant}).",
+	"serve.tenant_jobs_submitted":    "Jobs accepted into the serving queue per tenant (labeled {tenant}).",
+	"serve.tenant_jobs_completed":    "Jobs completed per tenant (labeled {tenant}).",
+	"serve.tenant_drain_share":       "Tenant's fraction of all completed jobs - under saturation these shares converge to the normalized dispatch weights (labeled {tenant}).",
 }
 
 // MetricName converts an obs registry name to its exported Prometheus
@@ -254,6 +259,69 @@ func WriteJobPhaseMetrics(w io.Writer, c *jobtrace.Collector) error {
 			// escaping exactly.
 			labels := fmt.Sprintf("tenant=%q,phase=%q", t.Tenant, ph.phase)
 			p.writeHistogramSeries(jobPhaseName, labels, ph.h)
+		}
+	}
+	return p.err
+}
+
+// TenantSnapshot is one tenant's weighted-fair dispatch accounting as the
+// bridge exports it — field-for-field the same shape as the serving
+// engine's snapshot, so glue code converts by plain struct conversion
+// without this package importing the engine.
+type TenantSnapshot struct {
+	Tenant     string
+	Weight     int
+	Queued     int
+	Submitted  uint64
+	Completed  uint64
+	DrainShare float64
+}
+
+// tenantFamilies is the serve.tenant_* contract: every family the bridge
+// exports per tenant, with its obs-style name (keyed into helpText) and
+// Prometheus type. The HELP-text test walks this list.
+var tenantFamilies = []struct {
+	obsName string
+	counter bool
+}{
+	{"serve.tenant_weight", false},
+	{"serve.tenant_queue_depth", false},
+	{"serve.tenant_jobs_submitted", true},
+	{"serve.tenant_jobs_completed", true},
+	{"serve.tenant_drain_share", false},
+}
+
+// WriteTenantMetrics renders the per-tenant weighted-fair dispatch
+// accounting as {tenant}-labeled families: weight and queue depth as
+// gauges, submit/complete totals as counters, and the drain share — the
+// measured counterpart of the normalized weights — as a gauge in [0, 1].
+// Nil-safe: an empty snapshot writes nothing.
+func WriteTenantMetrics(w io.Writer, tenants []TenantSnapshot) error {
+	if len(tenants) == 0 {
+		return nil
+	}
+	p := &promWriter{w: w, seen: map[string]bool{}}
+	for _, fam := range tenantFamilies {
+		name := MetricName(fam.obsName, fam.counter)
+		typ := "gauge"
+		if fam.counter {
+			typ = "counter"
+		}
+		p.family(name, helpFor(fam.obsName, typ), typ)
+		for _, t := range tenants {
+			labels := fmt.Sprintf("tenant=%q", t.Tenant)
+			switch fam.obsName {
+			case "serve.tenant_weight":
+				p.printf("%s{%s} %d\n", name, labels, t.Weight)
+			case "serve.tenant_queue_depth":
+				p.printf("%s{%s} %d\n", name, labels, t.Queued)
+			case "serve.tenant_jobs_submitted":
+				p.printf("%s{%s} %d\n", name, labels, t.Submitted)
+			case "serve.tenant_jobs_completed":
+				p.printf("%s{%s} %d\n", name, labels, t.Completed)
+			case "serve.tenant_drain_share":
+				p.printf("%s{%s} %g\n", name, labels, t.DrainShare)
+			}
 		}
 	}
 	return p.err

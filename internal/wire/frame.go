@@ -62,8 +62,12 @@ const (
 	// FrameFleetStatus answers a fleet query (server → client) with one
 	// row per device: name, box, ledger, queue depth, and EWMA latency.
 	FrameFleetStatus
+	// FrameWeightUpdate sets a tenant's weighted-fair dispatch weight at
+	// runtime (client → server); the server echoes the applied update
+	// back with the clamped weight, or answers StatusBadRequest.
+	FrameWeightUpdate
 
-	frameTypeMax = FrameFleetStatus
+	frameTypeMax = FrameWeightUpdate
 )
 
 func (t FrameType) String() string {
@@ -94,6 +98,8 @@ func (t FrameType) String() string {
 		return "fleet-query"
 	case FrameFleetStatus:
 		return "fleet-status"
+	case FrameWeightUpdate:
+		return "weight-update"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}

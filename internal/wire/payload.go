@@ -90,6 +90,19 @@ type fleetStatusMsg struct {
 	Rows []fleet.DeviceStatus
 }
 
+// maxWireTenantWeight bounds a decoded dispatch weight — mirrors the
+// serving engine's clamp, so a hostile weight cannot starve every other
+// tenant for 2³² visits.
+const maxWireTenantWeight = 1 << 20
+
+// weightUpdateMsg sets one tenant's weighted-fair dispatch weight at
+// runtime. The server applies it (clamped to [1, maxWireTenantWeight])
+// and echoes the applied update back.
+type weightUpdateMsg struct {
+	Tenant string
+	Weight uint32
+}
+
 // enc is an append-only little-endian writer.
 type enc struct{ b []byte }
 
@@ -380,6 +393,28 @@ func decodeCancel(p []byte) (cancelMsg, error) {
 	d := dec{b: p}
 	m := cancelMsg{Job: d.u64("cancel")}
 	return m, d.done("cancel")
+}
+
+func (m weightUpdateMsg) encode() []byte {
+	var e enc
+	e.str(m.Tenant)
+	e.u32(m.Weight)
+	return e.b
+}
+
+func decodeWeightUpdate(p []byte) (weightUpdateMsg, error) {
+	d := dec{b: p}
+	m := weightUpdateMsg{Tenant: d.str("weight-update"), Weight: d.u32("weight-update")}
+	if err := d.done("weight-update"); err != nil {
+		return weightUpdateMsg{}, err
+	}
+	if m.Tenant == "" {
+		return weightUpdateMsg{}, fmt.Errorf("wire: weight update with empty tenant")
+	}
+	if m.Weight < 1 || m.Weight > maxWireTenantWeight {
+		return weightUpdateMsg{}, fmt.Errorf("wire: weight %d out of range [1, %d]", m.Weight, maxWireTenantWeight)
+	}
+	return m, nil
 }
 
 // maxFleetRows bounds a decoded fleet-status row count; the scheduler

@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lowcomm3d/internal/grid"
+	"lowcomm3d/internal/serve"
+)
+
+// TestWeightUpdatePayloadRoundTrip pins the weight-update codec: updates
+// survive encode/decode exactly, and hostile payloads (empty tenant,
+// zero or oversized weight, trailing bytes) are refused.
+func TestWeightUpdatePayloadRoundTrip(t *testing.T) {
+	m := weightUpdateMsg{Tenant: "acme", Weight: 7}
+	got, err := decodeWeightUpdate(m.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("round trip: got %+v, want %+v", got, m)
+	}
+
+	for _, bad := range []weightUpdateMsg{
+		{Tenant: "", Weight: 1},
+		{Tenant: "acme", Weight: 0},
+		{Tenant: "acme", Weight: maxWireTenantWeight + 1},
+	} {
+		if _, err := decodeWeightUpdate(bad.encode()); err == nil {
+			t.Errorf("decode accepted hostile update %+v", bad)
+		}
+	}
+	if _, err := decodeWeightUpdate(append(m.encode(), 0)); err == nil {
+		t.Error("decode accepted trailing bytes")
+	}
+	if _, err := decodeWeightUpdate(m.encode()[:3]); err == nil {
+		t.Error("decode accepted a truncated update")
+	}
+}
+
+// TestClientSetTenantWeight exercises the runtime weight path over a
+// real connection: ServerOptions.TenantWeights seeds the engine at
+// start, the client's update lands (echoed back with the applied
+// weight), and the same session keeps submitting afterwards.
+func TestClientSetTenantWeight(t *testing.T) {
+	eng := testEngine(t, serve.Options{})
+	s := testServer(t, eng, ServerOptions{TenantWeights: map[string]int{"seeded": 2, "ignored": 0}})
+	c := NewClient(testClientOptions(s.Addr().String()))
+	defer c.Close()
+
+	if got := eng.TenantWeight("seeded"); got != 2 {
+		t.Fatalf("seeded tenant weight = %d, want 2 from ServerOptions", got)
+	}
+	if got := eng.TenantWeight("ignored"); got != 1 {
+		t.Fatalf("sub-1 seed applied: weight = %d, want default 1", got)
+	}
+
+	applied, err := c.SetTenantWeight(context.Background(), "acme", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 3 {
+		t.Fatalf("applied weight = %d, want echo of 3", applied)
+	}
+	if got := eng.TenantWeight("acme"); got != 3 {
+		t.Fatalf("engine weight after wire update = %d, want 3", got)
+	}
+
+	// Client-side validation refuses unsendable updates before any I/O.
+	if _, err := c.SetTenantWeight(context.Background(), "", 1); err == nil {
+		t.Error("empty tenant accepted")
+	}
+	if _, err := c.SetTenantWeight(context.Background(), "acme", 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := c.SetTenantWeight(context.Background(), strings.Repeat("x", maxWireString+1), 1); err == nil {
+		t.Error("oversized tenant accepted")
+	}
+
+	// The session is still good for work after the update.
+	box := grid.CubeAt(grid.Point{0, 0, 0}, 4)
+	if _, err := c.Submit(context.Background(), "acme", box, testField(4, 1)); err != nil {
+		t.Fatalf("submit after weight update: %v", err)
+	}
+}
